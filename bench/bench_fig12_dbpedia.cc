@@ -1,0 +1,13 @@
+// Figure 12 reproduction: effectiveness (P/R/F1) and efficiency (response
+// time) over the DBpedia-like dataset for top-k in {20, 40, 100, 200},
+// comparing TBQ-0.9, SGQ, GraB, S4, QGA, and p-hom.
+//
+// Expected shape: SGQ and TBQ-0.9 dominate on all effectiveness metrics;
+// QGA has perfect precision but capped recall; structural methods (GraB,
+// p-hom) trail on precision; response time grows with k.
+#include "eval/harness.h"
+
+int main() {
+  return kgsearch::RunEffectivenessFigure("Figure 12 (DBpedia-like)",
+                                          kgsearch::DbpediaLikeSpec(2.0));
+}

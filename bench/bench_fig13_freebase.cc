@@ -1,0 +1,9 @@
+// Figure 13 reproduction: effectiveness/efficiency vs top-k over the
+// Freebase-like dataset (denser, broader than the DBpedia-like profile).
+// Expected shape matches Figure 12's ordering of methods.
+#include "eval/harness.h"
+
+int main() {
+  return kgsearch::RunEffectivenessFigure("Figure 13 (Freebase-like)",
+                                          kgsearch::FreebaseLikeSpec(2.0));
+}

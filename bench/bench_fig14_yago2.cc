@@ -1,0 +1,10 @@
+// Figure 14 reproduction: effectiveness/efficiency vs top-k over the
+// YAGO2-like dataset. Its subject pools are the largest, so absolute
+// recall@k sits below the other datasets (the paper's Fig. 14 band) while
+// the method ordering is unchanged.
+#include "eval/harness.h"
+
+int main() {
+  return kgsearch::RunEffectivenessFigure("Figure 14 (YAGO2-like)",
+                                          kgsearch::Yago2LikeSpec(2.0));
+}

@@ -1,0 +1,121 @@
+// Google-benchmark micro-benchmarks of the core components: A* semantic
+// search, TA assembly, semantic-graph weight materialization, N-Triples
+// parsing, and one TransE epoch. These are throughput numbers for the
+// library itself, complementing the experiment tables.
+#include <benchmark/benchmark.h>
+
+#include "core/astar_search.h"
+#include "core/ta_assembly.h"
+#include "embedding/transe.h"
+#include "eval/harness.h"
+#include "gen/car_domain.h"
+#include "kg/triple_io.h"
+
+namespace kgsearch {
+namespace {
+
+const GeneratedDataset& SharedDataset() {
+  static const GeneratedDataset* ds = [] {
+    auto result = GenerateDataset(DbpediaLikeSpec(0.5));
+    KG_CHECK(result.ok());
+    return std::move(result).ValueOrDie().release();
+  }();
+  return *ds;
+}
+
+void BM_AStarSearch(benchmark::State& state) {
+  const GeneratedDataset& ds = SharedDataset();
+  NodeMatcher matcher(ds.graph.get(), &ds.library);
+  auto q = MakeIntentQuery(ds, 0, 0);
+  KG_CHECK(q.ok());
+  DecomposeOptions dopts;
+  dopts.avg_degree = ds.graph->AverageDegree();
+  auto decomposition = DecomposeQuery(q.ValueOrDie().query, dopts);
+  KG_CHECK(decomposition.ok());
+  auto resolved = ResolveSubQuery(q.ValueOrDie().query,
+                                  decomposition.ValueOrDie().subqueries[0],
+                                  matcher);
+  KG_CHECK(resolved.ok());
+  AStarConfig config;
+  config.k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto matches =
+        AStarSearch(*ds.graph, *ds.space, resolved.ValueOrDie(), config);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_AStarSearch)->Arg(10)->Arg(100);
+
+void BM_TaAssembly(benchmark::State& state) {
+  const size_t per_set = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::vector<PathMatch>> sets(3);
+  for (auto& set : sets) {
+    double pss = 0.999;
+    for (size_t i = 0; i < per_set; ++i) {
+      PathMatch m;
+      m.nodes = {0, static_cast<NodeId>(rng.UniformIndex(per_set))};
+      m.predicates = {0};
+      m.weights = {pss};
+      m.pss = pss;
+      pss *= 0.999;
+      set.push_back(std::move(m));
+    }
+  }
+  for (auto _ : state) {
+    auto result = AssembleTopK(sets, 10);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TaAssembly)->Arg(100)->Arg(1000);
+
+void BM_NTriplesParse(benchmark::State& state) {
+  auto car = MakeCarDomainDataset(200, 117);
+  KG_CHECK(car.ok());
+  const std::string text = WriteNTriples(*car.ValueOrDie()->graph);
+  for (auto _ : state) {
+    auto graph = ParseNTriples(text);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_NTriplesParse);
+
+void BM_TransEEpoch(benchmark::State& state) {
+  auto car = MakeCarDomainDataset(200, 117);
+  KG_CHECK(car.ok());
+  TransEConfig config;
+  config.dim = 32;
+  config.epochs = 1;
+  for (auto _ : state) {
+    auto embedding = TrainTransE(*car.ValueOrDie()->graph, config);
+    benchmark::DoNotOptimize(embedding);
+  }
+}
+BENCHMARK(BM_TransEEpoch);
+
+void BM_SemanticWeightRows(benchmark::State& state) {
+  const GeneratedDataset& ds = SharedDataset();
+  NodeMatcher matcher(ds.graph.get(), &ds.library);
+  auto q = MakeIntentQuery(ds, 0, 0);
+  KG_CHECK(q.ok());
+  DecomposeOptions dopts;
+  auto decomposition = DecomposeQuery(q.ValueOrDie().query, dopts);
+  KG_CHECK(decomposition.ok());
+  auto resolved = ResolveSubQuery(q.ValueOrDie().query,
+                                  decomposition.ValueOrDie().subqueries[0],
+                                  matcher);
+  KG_CHECK(resolved.ok());
+  for (auto _ : state) {
+    SemanticWeights weights(ds.graph.get(), ds.space.get(),
+                            &resolved.ValueOrDie());
+    benchmark::DoNotOptimize(weights.Weight(0, 0));
+  }
+}
+BENCHMARK(BM_SemanticWeightRows);
+
+}  // namespace
+}  // namespace kgsearch
+
+BENCHMARK_MAIN();

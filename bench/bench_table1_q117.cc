@@ -1,0 +1,102 @@
+// Table I + Figure 1 reproduction: precision/recall of all eight methods on
+// the four Q117 query-graph variants ("find all cars produced in Germany"),
+// over the car-domain fixture. k = |gold|, as in the paper (k = 596 there).
+//
+// Expected shape (paper's Table I): gStore fails G1-G3 and is P=1/low-R on
+// G4; SLQ handles all variants at P=1/low-R; QGA fails G1 only; structural
+// methods have sub-1 precision; S4 sits between; SGQ leads on F1 everywhere.
+#include <cstdio>
+
+#include "baselines/adapters.h"
+#include "baselines/exact_match.h"
+#include "baselines/s4.h"
+#include "baselines/structural.h"
+#include "eval/metrics.h"
+#include "eval/reporter.h"
+#include "gen/car_domain.h"
+#include "util/string_util.h"
+
+namespace kgsearch {
+namespace {
+
+int Run() {
+  auto result = MakeCarDomainDataset(400, 117);
+  KG_CHECK(result.ok());
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  MethodContext context{ds.graph.get(), ds.space.get(), &ds.library};
+
+  std::vector<NodeId> gold =
+      ds.GoldIds(kCarProducedIntent, kCarGermanyAnchor);
+  std::sort(gold.begin(), gold.end());
+  const size_t k = gold.size();
+  std::printf("Car-domain KG: %zu nodes, %zu edges; |gold| = k = %zu\n",
+              ds.graph->NumNodes(), ds.graph->NumEdges(), k);
+
+  // Figure 1: answers per schema (template) for the Germany anchor.
+  {
+    Table fig1({"schema", "hops", "validated", "#answers"});
+    const GeneratedIntent& intent = ds.intents[kCarProducedIntent];
+    for (size_t t = 0; t < intent.spec.templates.size(); ++t) {
+      const PathTemplate& tmpl = intent.spec.templates[t];
+      std::string schema;
+      for (size_t h = 0; h < tmpl.predicates.size(); ++h) {
+        if (h) schema += "-";
+        schema += tmpl.predicates[h];
+      }
+      fig1.AddRow({schema, std::to_string(tmpl.Hops()),
+                   tmpl.correct ? "yes" : "no",
+                   std::to_string(
+                       intent.gold_by_template[kCarGermanyAnchor][t].size())});
+    }
+    fig1.Print("Figure 1: schemas and answer counts for Q117 (Germany)");
+  }
+
+  // Method roster (Table II feature sets).
+  std::vector<std::unique_ptr<GraphQueryMethod>> methods;
+  methods.push_back(MakeGStore(context));
+  methods.push_back(MakeSlq(context));
+  methods.push_back(MakeNeMa(context));
+  {
+    // S4 prior knowledge: 50% of the gold pairs.
+    NodeId germany = ds.graph->FindNode("Germany");
+    std::vector<std::pair<NodeId, NodeId>> examples;
+    for (size_t i = 0; i < gold.size() / 2; ++i) {
+      examples.emplace_back(gold[i], germany);
+    }
+    std::map<std::string, std::vector<S4Pattern>> patterns;
+    patterns["assembly"] = MineS4Patterns(*ds.graph, examples, 3, 2);
+    patterns["product"] = patterns["assembly"];
+    methods.push_back(std::make_unique<S4Method>(context, std::move(patterns)));
+  }
+  methods.push_back(MakePHom(context));
+  methods.push_back(MakeGraB(context));
+  methods.push_back(MakeQga(context));
+  methods.push_back(std::make_unique<SgqMethod>(context, EngineOptions{}));
+
+  Table table({"Method", "G1 P", "G1 R", "G2 P", "G2 R", "G3 P", "G3 R",
+               "G4 P", "G4 R"});
+  for (const auto& method : methods) {
+    std::vector<std::string> row{std::string(method->name())};
+    for (int variant = 1; variant <= 4; ++variant) {
+      QueryGraph q = MakeQ117Variant(variant);
+      Result<std::vector<NodeId>> answers = method->QueryTopK(q, 0, k);
+      if (!answers.ok() || answers.ValueOrDie().empty()) {
+        row.push_back("%");
+        row.push_back("%");
+        continue;
+      }
+      Prf prf = ComputePrf(answers.ValueOrDie(), gold);
+      row.push_back(Table::Cell(prf.precision, 2));
+      row.push_back(Table::Cell(prf.recall, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(
+      "Table I: P/R for Q117 query-graph variants (% = cannot answer)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgsearch
+
+int main() { return kgsearch::Run(); }

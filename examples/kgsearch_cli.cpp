@@ -1,0 +1,293 @@
+// kgsearch_cli: run semantic-guided queries against a knowledge graph on
+// disk, end to end from the shell.
+//
+// Usage:
+//   kgsearch_cli --graph kg.nt|kg.tsv [--space space.txt] [--library lib.tsv]
+//                [--train-transe] [--k 10] [--tau 0.8] [--nhat 4]
+//                [--time-bound-ms T] --query "?Automobile product Germany"
+//
+// The query syntax is a list of edges separated by ';':
+//   "?Type predicate Name"          target --predicate-- specific
+//   "?Type1 predicate ?Type2"       target --predicate-- target (chains)
+//   "Name predicate ?Type"          specific --predicate-- target
+// The first target node is the answer node. Example chain:
+//   "?Automobile engine ?Device; ?Device made_in Germany"
+//
+// Without --space, predicate vectors are trained with TransE on the loaded
+// graph (--train-transe forces retraining even when --space is given).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/engine.h"
+#include "core/time_bounded.h"
+#include "embedding/transe.h"
+#include "kg/triple_io.h"
+#include "util/string_util.h"
+
+using namespace kgsearch;
+
+namespace {
+
+struct CliOptions {
+  std::string graph_path;
+  std::string space_path;
+  std::string library_path;
+  std::string query_text;
+  bool train_transe = false;
+  size_t k = 10;
+  double tau = 0.8;
+  size_t n_hat = 4;
+  int64_t time_bound_ms = 0;  // 0 = optimal SGQ, else TBQ
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --graph FILE [--space FILE] [--library FILE]\n"
+               "          [--train-transe] [--k N] [--tau X] [--nhat N]\n"
+               "          [--time-bound-ms T] --query \"?Type pred Name\"\n",
+               argv0);
+  return 2;
+}
+
+Result<CliOptions> ParseArgs(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(std::string(arg) + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--graph") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.graph_path = v.ValueOrDie();
+    } else if (arg == "--space") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.space_path = v.ValueOrDie();
+    } else if (arg == "--library") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.library_path = v.ValueOrDie();
+    } else if (arg == "--query") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.query_text = v.ValueOrDie();
+    } else if (arg == "--train-transe") {
+      opts.train_transe = true;
+    } else if (arg == "--k") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.k = static_cast<size_t>(std::stoul(v.ValueOrDie()));
+    } else if (arg == "--tau") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.tau = std::stod(v.ValueOrDie());
+    } else if (arg == "--nhat") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.n_hat = static_cast<size_t>(std::stoul(v.ValueOrDie()));
+    } else if (arg == "--time-bound-ms") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.time_bound_ms = std::stoll(v.ValueOrDie());
+    } else {
+      return Status::InvalidArgument("unknown flag: " + std::string(arg));
+    }
+  }
+  if (opts.graph_path.empty() || opts.query_text.empty()) {
+    return Status::InvalidArgument("--graph and --query are required");
+  }
+  return opts;
+}
+
+/// Parses the edge-list query syntax into a QueryGraph. Node tokens
+/// starting with '?' are target nodes keyed by type; others are specific
+/// nodes (type is inferred from the graph when known).
+Result<QueryGraph> ParseQuery(const std::string& text,
+                              const KnowledgeGraph& graph) {
+  QueryGraph query;
+  std::map<std::string, int> nodes;  // token -> query node index
+  auto node_of = [&](const std::string& token) -> Result<int> {
+    auto it = nodes.find(token);
+    if (it != nodes.end()) return it->second;
+    int idx;
+    if (!token.empty() && token[0] == '?') {
+      idx = query.AddTargetNode(token.substr(1));
+    } else {
+      NodeId u = graph.FindNode(token);
+      std::string type = "Thing";
+      if (u != kInvalidNode) type = std::string(graph.NodeTypeName(u));
+      idx = query.AddSpecificNode(type, token);
+    }
+    nodes.emplace(token, idx);
+    return idx;
+  };
+
+  for (const std::string& part : Split(text, ';')) {
+    std::string_view edge = Trim(part);
+    if (edge.empty()) continue;
+    std::vector<std::string> tokens;
+    for (const std::string& t : Split(edge, ' ')) {
+      if (!Trim(t).empty()) tokens.emplace_back(Trim(t));
+    }
+    if (tokens.size() != 3) {
+      return Status::ParseError("each edge needs 'node predicate node': " +
+                                std::string(edge));
+    }
+    Result<int> from = node_of(tokens[0]);
+    KG_RETURN_NOT_OK(from.status());
+    Result<int> to = node_of(tokens[2]);
+    KG_RETURN_NOT_OK(to.status());
+    query.AddEdge(from.ValueOrDie(), to.ValueOrDie(), tokens[1]);
+  }
+  KG_RETURN_NOT_OK(query.Validate());
+  return query;
+}
+
+int RunCli(const CliOptions& opts) {
+  // ---- load graph ----
+  auto text = ReadFileToString(opts.graph_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<KnowledgeGraph>> graph_result =
+      EndsWith(opts.graph_path, ".tsv")
+          ? ParseTsvTriples(text.ValueOrDie())
+          : ParseNTriples(text.ValueOrDie());
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "cannot parse graph: %s\n",
+                 graph_result.status().ToString().c_str());
+    return 1;
+  }
+  const KnowledgeGraph& graph = *graph_result.ValueOrDie();
+  std::fprintf(stderr, "loaded %zu nodes, %zu edges, %zu predicates\n",
+               graph.NumNodes(), graph.NumEdges(), graph.NumPredicates());
+
+  // ---- predicate space: load or train ----
+  std::unique_ptr<PredicateSpace> space;
+  if (!opts.space_path.empty() && !opts.train_transe) {
+    auto stext = ReadFileToString(opts.space_path);
+    if (!stext.ok()) {
+      std::fprintf(stderr, "%s\n", stext.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed = PredicateSpace::Deserialize(stext.ValueOrDie(), &graph);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "cannot parse space: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    space = std::make_unique<PredicateSpace>(std::move(parsed).ValueOrDie());
+  } else {
+    std::fprintf(stderr, "training TransE on the loaded graph...\n");
+    TransEConfig config;
+    config.dim = 48;
+    config.epochs = 60;
+    auto emb = TrainTransE(graph, config);
+    if (!emb.ok()) {
+      std::fprintf(stderr, "%s\n", emb.status().ToString().c_str());
+      return 1;
+    }
+    space = std::make_unique<PredicateSpace>(
+        PredicateSpace::FromTransE(graph, emb.ValueOrDie()));
+  }
+
+  // ---- transformation library ----
+  TransformationLibrary library;
+  if (!opts.library_path.empty()) {
+    auto ltext = ReadFileToString(opts.library_path);
+    if (!ltext.ok()) {
+      std::fprintf(stderr, "%s\n", ltext.status().ToString().c_str());
+      return 1;
+    }
+    auto parsed = TransformationLibrary::Deserialize(ltext.ValueOrDie());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "cannot parse library: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    library = std::move(parsed).ValueOrDie();
+  }
+
+  // ---- query ----
+  auto query = ParseQuery(opts.query_text, graph);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bad query: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  auto print_matches = [&](const std::vector<FinalMatch>& matches,
+                           double elapsed_ms) {
+    for (const FinalMatch& m : matches) {
+      std::printf("%-24s score=%.3f\n",
+                  std::string(graph.NodeName(m.pivot_match)).c_str(),
+                  m.score);
+      for (const PathMatch& path : m.parts) {
+        std::printf("  pss=%.3f  ", path.pss);
+        for (size_t i = 0; i < path.predicates.size(); ++i) {
+          std::printf("%s --%s--> ",
+                      std::string(graph.NodeName(path.nodes[i])).c_str(),
+                      std::string(graph.PredicateName(path.predicates[i]))
+                          .c_str());
+        }
+        std::printf("%s\n",
+                    std::string(graph.NodeName(path.nodes.back())).c_str());
+      }
+    }
+    std::fprintf(stderr, "%zu matches in %.2f ms\n", matches.size(),
+                 elapsed_ms);
+  };
+
+  if (opts.time_bound_ms > 0) {
+    TbqEngine engine(&graph, space.get(), &library);
+    TimeBoundedOptions toptions;
+    toptions.k = opts.k;
+    toptions.tau = opts.tau;
+    toptions.n_hat = opts.n_hat;
+    toptions.time_bound_micros = opts.time_bound_ms * 1000;
+    auto result = engine.Query(query.ValueOrDie(), toptions);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (result.ValueOrDie().stopped_by_time) {
+      std::fprintf(stderr, "(approximate: stopped by the time bound)\n");
+    }
+    print_matches(result.ValueOrDie().matches,
+                  result.ValueOrDie().elapsed_ms);
+  } else {
+    SgqEngine engine(&graph, space.get(), &library);
+    EngineOptions options;
+    options.k = opts.k;
+    options.tau = opts.tau;
+    options.n_hat = opts.n_hat;
+    auto result = engine.Query(query.ValueOrDie(), options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    print_matches(result.ValueOrDie().matches,
+                  result.ValueOrDie().elapsed_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<CliOptions> opts = ParseArgs(argc, argv);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
+    return Usage(argv[0]);
+  }
+  return RunCli(opts.ValueOrDie());
+}

@@ -1,0 +1,217 @@
+#include "baselines/exact_match.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace kgsearch {
+
+namespace {
+
+/// Per-query resolved constraint for one query node.
+struct ExactNodeConstraint {
+  bool specific = false;
+  std::vector<NodeId> nodes;  // sorted
+  std::vector<TypeId> types;  // sorted
+
+  bool Matches(const KnowledgeGraph& g, NodeId u) const {
+    if (specific) return std::binary_search(nodes.begin(), nodes.end(), u);
+    return std::binary_search(types.begin(), types.end(), g.NodeType(u));
+  }
+};
+
+}  // namespace
+
+ExactMatchMethod::ExactMatchMethod(std::string name, MethodContext context,
+                                   ExactMatchPolicy policy)
+    : name_(std::move(name)), context_(context), policy_(policy) {
+  KG_CHECK(context_.graph != nullptr);
+  KG_CHECK(!policy_.predicate_mapping || context_.space != nullptr);
+}
+
+Result<std::vector<NodeId>> ExactMatchMethod::QueryTopK(
+    const QueryGraph& query, int answer_node, size_t k) const {
+  KG_RETURN_NOT_OK(query.Validate());
+  const KnowledgeGraph& g = *context_.graph;
+
+  // ---- resolve node constraints ----
+  std::vector<ExactNodeConstraint> constraints(query.NumNodes());
+  for (size_t i = 0; i < query.NumNodes(); ++i) {
+    const QueryNode& qn = query.node(static_cast<int>(i));
+    ExactNodeConstraint& c = constraints[i];
+    if (qn.is_specific()) {
+      c.specific = true;
+      if (policy_.name_library && context_.library != nullptr) {
+        for (const Resolution& r : context_.library->ResolveName(qn.name)) {
+          NodeId u = g.FindNode(r.canonical);
+          if (u != kInvalidNode) c.nodes.push_back(u);
+        }
+      } else {
+        NodeId u = g.FindNode(qn.name);
+        if (u != kInvalidNode) c.nodes.push_back(u);
+      }
+      std::sort(c.nodes.begin(), c.nodes.end());
+      if (c.nodes.empty()) {
+        return Status::NotFound(name_ + ": unresolved entity " + qn.name);
+      }
+    } else {
+      if (policy_.type_library && context_.library != nullptr) {
+        for (const Resolution& r : context_.library->ResolveType(qn.type)) {
+          TypeId t = g.FindType(r.canonical);
+          if (t != kInvalidSymbol) c.types.push_back(t);
+        }
+      } else {
+        TypeId t = g.FindType(qn.type);
+        if (t != kInvalidSymbol) c.types.push_back(t);
+      }
+      std::sort(c.types.begin(), c.types.end());
+      if (c.types.empty()) {
+        return Status::NotFound(name_ + ": unresolved type " + qn.type);
+      }
+    }
+  }
+
+  // ---- resolve predicates (optionally mapping to the closest predicate
+  // that actually labels edges, SLQ/QGA's transformation behaviour) ----
+  std::vector<bool> labels_edges(g.NumPredicates(), false);
+  for (const Triple& t : g.triples()) labels_edges[t.predicate] = true;
+  std::vector<PredicateId> predicates(query.NumEdges());
+  for (size_t e = 0; e < query.NumEdges(); ++e) {
+    PredicateId p = g.FindPredicate(query.edge(static_cast<int>(e)).predicate);
+    if (p == kInvalidSymbol) {
+      return Status::NotFound(name_ + ": unresolved predicate " +
+                              query.edge(static_cast<int>(e)).predicate);
+    }
+    if (!labels_edges[p]) {
+      if (!policy_.predicate_mapping) {
+        return Status::NotFound(name_ + ": predicate labels no edges: " +
+                                std::string(g.PredicateName(p)));
+      }
+      // Top-1 similar predicate among those with edges.
+      for (const SimilarPredicate& cand :
+           context_.space->TopSimilar(p, g.NumPredicates())) {
+        if (labels_edges[cand.predicate]) {
+          p = cand.predicate;
+          break;
+        }
+      }
+    }
+    predicates[e] = p;
+  }
+
+  // ---- matching order: BFS over query nodes from a specific node ----
+  std::vector<std::vector<std::pair<int, int>>> qadj(query.NumNodes());
+  for (size_t e = 0; e < query.NumEdges(); ++e) {
+    const QueryEdge& qe = query.edge(static_cast<int>(e));
+    qadj[static_cast<size_t>(qe.from)].push_back({qe.to, static_cast<int>(e)});
+    qadj[static_cast<size_t>(qe.to)].push_back({qe.from, static_cast<int>(e)});
+  }
+  std::vector<int> order;
+  {
+    std::vector<bool> seen(query.NumNodes(), false);
+    int root = query.SpecificNodes().front();
+    std::vector<int> bfs{root};
+    seen[static_cast<size_t>(root)] = true;
+    for (size_t h = 0; h < bfs.size(); ++h) {
+      order.push_back(bfs[h]);
+      for (const auto& [to, _] : qadj[static_cast<size_t>(bfs[h])]) {
+        if (!seen[static_cast<size_t>(to)]) {
+          seen[static_cast<size_t>(to)] = true;
+          bfs.push_back(to);
+        }
+      }
+    }
+  }
+
+  // ---- backtracking subgraph matching (undirected edge semantics) ----
+  constexpr uint64_t kStepBudget = 500'000;
+  uint64_t steps = 0;
+  std::vector<NodeId> assignment(query.NumNodes(), kInvalidNode);
+  std::set<NodeId> answers;
+
+  auto edge_ok = [&](NodeId a, PredicateId p, NodeId b) {
+    return g.HasTriple(a, p, b) || g.HasTriple(b, p, a);
+  };
+
+  std::function<void(size_t)> match = [&](size_t pos) {
+    if (steps++ > kStepBudget) return;
+    if (pos == order.size()) {
+      answers.insert(assignment[static_cast<size_t>(answer_node)]);
+      return;
+    }
+    const int qn = order[pos];
+    const ExactNodeConstraint& c = constraints[static_cast<size_t>(qn)];
+
+    // Candidates: from an already-assigned query neighbor's adjacency (the
+    // BFS order guarantees one exists for pos > 0).
+    std::vector<NodeId> candidates;
+    if (pos == 0) {
+      candidates = c.nodes;  // root is specific
+    } else {
+      int anchor_q = -1, anchor_e = -1;
+      for (const auto& [to, e] : qadj[static_cast<size_t>(qn)]) {
+        if (assignment[static_cast<size_t>(to)] != kInvalidNode) {
+          anchor_q = to;
+          anchor_e = e;
+          break;
+        }
+      }
+      KG_CHECK(anchor_q >= 0);
+      const NodeId anchored = assignment[static_cast<size_t>(anchor_q)];
+      const PredicateId need = predicates[static_cast<size_t>(anchor_e)];
+      for (const AdjEntry& adj : g.Neighbors(anchored)) {
+        if (adj.predicate == need) candidates.push_back(adj.neighbor);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+    }
+
+    for (NodeId u : candidates) {
+      if (!c.Matches(g, u)) continue;
+      // Injectivity (isomorphism) and all incident edges to assigned nodes.
+      bool ok = true;
+      for (size_t j = 0; j < assignment.size(); ++j) {
+        if (assignment[j] == u) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (const auto& [to, e] : qadj[static_cast<size_t>(qn)]) {
+        const NodeId v = assignment[static_cast<size_t>(to)];
+        if (v != kInvalidNode &&
+            !edge_ok(u, predicates[static_cast<size_t>(e)], v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      assignment[static_cast<size_t>(qn)] = u;
+      match(pos + 1);
+      assignment[static_cast<size_t>(qn)] = kInvalidNode;
+    }
+  };
+  match(0);
+
+  std::vector<NodeId> out(answers.begin(), answers.end());
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::unique_ptr<GraphQueryMethod> MakeGStore(MethodContext context) {
+  return std::make_unique<ExactMatchMethod>("gStore", context,
+                                            ExactMatchPolicy{});
+}
+
+std::unique_ptr<GraphQueryMethod> MakeSlq(MethodContext context) {
+  return std::make_unique<ExactMatchMethod>(
+      "SLQ", context, ExactMatchPolicy{true, true, true});
+}
+
+std::unique_ptr<GraphQueryMethod> MakeQga(MethodContext context) {
+  return std::make_unique<ExactMatchMethod>(
+      "QGA", context, ExactMatchPolicy{false, true, true});
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,53 @@
+// Exact-edge baselines: gStore, SLQ, and QGA style matchers.
+//
+// All three map every query edge to exactly one KG edge (no edge-to-path
+// mapping, Table II); they differ in node/predicate resolution:
+//  - gStore  [Zou et al., PVLDB'11]: subgraph isomorphism — exact node
+//    names/types and exact predicates.
+//  - SLQ     [Yang et al., PVLDB'14]: transformation library on node names
+//    and types; query predicates map to the closest KG predicate
+//    (top-1 in the semantic space) when they label no KG edge.
+//  - QGA     [Han et al., CIKM'17]: keyword-based query-graph assembly
+//    evaluated as exact SPARQL — entity names resolve via the library,
+//    types are exact, predicates map like SLQ.
+#ifndef KGSEARCH_BASELINES_EXACT_MATCH_H_
+#define KGSEARCH_BASELINES_EXACT_MATCH_H_
+
+#include "baselines/method.h"
+
+namespace kgsearch {
+
+/// Capability switches distinguishing the three exact-edge baselines.
+struct ExactMatchPolicy {
+  bool type_library = false;       ///< resolve types via synonym/abbrev.
+  bool name_library = false;       ///< resolve names via synonym/abbrev.
+  bool predicate_mapping = false;  ///< map query predicate to top-1 similar
+};
+
+/// Shared engine behind gStore/SLQ/QGA.
+class ExactMatchMethod : public GraphQueryMethod {
+ public:
+  ExactMatchMethod(std::string name, MethodContext context,
+                   ExactMatchPolicy policy);
+
+  std::string name() const override { return name_; }
+  Result<std::vector<NodeId>> QueryTopK(const QueryGraph& query,
+                                        int answer_node,
+                                        size_t k) const override;
+
+ private:
+  std::string name_;
+  MethodContext context_;
+  ExactMatchPolicy policy_;
+};
+
+/// gStore: pure subgraph isomorphism.
+std::unique_ptr<GraphQueryMethod> MakeGStore(MethodContext context);
+/// SLQ: node transformations + predicate mapping.
+std::unique_ptr<GraphQueryMethod> MakeSlq(MethodContext context);
+/// QGA: name transformations + predicate mapping, exact types.
+std::unique_ptr<GraphQueryMethod> MakeQga(MethodContext context);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_BASELINES_EXACT_MATCH_H_

@@ -1,0 +1,43 @@
+// Common interface for all graph-query methods compared in the evaluation
+// (Table II): the re-implemented baselines and adapters over SGQ/TBQ.
+#ifndef KGSEARCH_BASELINES_METHOD_H_
+#define KGSEARCH_BASELINES_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_graph.h"
+#include "embedding/predicate_space.h"
+#include "kg/graph.h"
+#include "match/transformation_library.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// Shared read-only context for query methods.
+struct MethodContext {
+  const KnowledgeGraph* graph = nullptr;
+  const PredicateSpace* space = nullptr;  ///< null for semantic-blind methods
+  const TransformationLibrary* library = nullptr;
+};
+
+/// A top-k graph-query method. Answers are the matches of `answer_node`
+/// (the query node the user asks about), ranked best-first.
+class GraphQueryMethod {
+ public:
+  virtual ~GraphQueryMethod() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs the query; returns up to k ranked answer entities. A NotFound
+  /// error corresponds to the paper's "%" cells (the method cannot express
+  /// or resolve the query).
+  virtual Result<std::vector<NodeId>> QueryTopK(const QueryGraph& query,
+                                                int answer_node,
+                                                size_t k) const = 0;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_BASELINES_METHOD_H_

@@ -1,0 +1,152 @@
+#include "baselines/s4.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace kgsearch {
+
+namespace {
+
+/// Enumerates all simple paths (as predicate sequences) between two nodes
+/// up to max_hops, ignoring direction, and tallies them into `counts`.
+void CountPatterns(const KnowledgeGraph& g, NodeId from, NodeId to,
+                   size_t max_hops,
+                   std::map<std::vector<PredicateId>, size_t>* counts) {
+  std::vector<PredicateId> prefix;
+  std::set<NodeId> on_path{from};
+  std::function<void(NodeId)> dfs = [&](NodeId u) {
+    if (u == to && !prefix.empty()) {
+      ++(*counts)[prefix];
+      return;  // patterns end at the first arrival
+    }
+    if (prefix.size() >= max_hops) return;
+    for (const AdjEntry& adj : g.Neighbors(u)) {
+      if (on_path.count(adj.neighbor)) continue;
+      prefix.push_back(adj.predicate);
+      on_path.insert(adj.neighbor);
+      dfs(adj.neighbor);
+      on_path.erase(adj.neighbor);
+      prefix.pop_back();
+    }
+  };
+  dfs(from);
+}
+
+}  // namespace
+
+std::vector<S4Pattern> MineS4Patterns(
+    const KnowledgeGraph& graph,
+    const std::vector<std::pair<NodeId, NodeId>>& examples, size_t max_hops,
+    size_t min_support) {
+  std::map<std::vector<PredicateId>, size_t> counts;
+  for (const auto& [from, to] : examples) {
+    CountPatterns(graph, from, to, max_hops, &counts);
+  }
+  std::vector<S4Pattern> out;
+  for (const auto& [preds, support] : counts) {
+    if (support >= min_support) out.push_back(S4Pattern{preds, support});
+  }
+  std::sort(out.begin(), out.end(), [](const S4Pattern& a, const S4Pattern& b) {
+    if (a.support != b.support) return a.support > b.support;
+    return a.predicates < b.predicates;
+  });
+  return out;
+}
+
+S4Method::S4Method(
+    MethodContext context,
+    std::map<std::string, std::vector<S4Pattern>> patterns_by_predicate)
+    : context_(context), patterns_(std::move(patterns_by_predicate)) {
+  KG_CHECK(context_.graph != nullptr);
+}
+
+Result<std::vector<NodeId>> S4Method::QueryTopK(const QueryGraph& query,
+                                                int answer_node,
+                                                size_t k) const {
+  KG_RETURN_NOT_OK(query.Validate());
+  const KnowledgeGraph& g = *context_.graph;
+
+  // S4 has no node-similarity support: exact labels only (Table II).
+  const QueryNode& target = query.node(answer_node);
+  const TypeId target_type = g.FindType(target.type);
+  if (target_type == kInvalidSymbol) {
+    return Status::NotFound("S4: unresolved type " + target.type);
+  }
+
+  DecomposeOptions dopts;
+  dopts.avg_degree = g.AverageDegree();
+  Result<Decomposition> decomposition =
+      DecomposeQueryForPivot(query, answer_node, dopts);
+  if (!decomposition.ok()) return decomposition.status();
+  const auto& legs = decomposition.ValueOrDie().subqueries;
+
+  std::unordered_map<NodeId, std::pair<double, size_t>> combined;
+  for (const SubQueryGraph& leg : legs) {
+    const QueryNode& anchor = query.node(leg.node_seq.front());
+    const NodeId source = g.FindNode(anchor.name);
+    if (source == kInvalidNode) {
+      return Status::NotFound("S4: unresolved entity " + anchor.name);
+    }
+    // Patterns are mined per query predicate; a leg with multiple edges
+    // uses the predicate adjacent to the anchor (its mined patterns span
+    // the full anchor-to-answer reachability anyway).
+    const std::string& qpred =
+        query.edge(leg.edge_seq.front()).predicate;
+    auto it = patterns_.find(qpred);
+    if (it == patterns_.end() || it->second.empty()) {
+      return Status::NotFound("S4: no mined patterns for predicate " + qpred);
+    }
+
+    // Apply each pattern from the anchor: follow the exact predicate
+    // sequence (direction-agnostic), frontier-by-frontier.
+    std::unordered_map<NodeId, double> leg_scores;
+    double max_support = static_cast<double>(it->second.front().support);
+    for (const S4Pattern& pattern : it->second) {
+      std::set<NodeId> frontier{source};
+      for (PredicateId p : pattern.predicates) {
+        std::set<NodeId> next;
+        for (NodeId u : frontier) {
+          for (const AdjEntry& adj : g.Neighbors(u)) {
+            if (adj.predicate == p) next.insert(adj.neighbor);
+          }
+        }
+        frontier = std::move(next);
+        if (frontier.empty()) break;
+      }
+      const double score =
+          static_cast<double>(pattern.support) / std::max(1.0, max_support);
+      for (NodeId u : frontier) {
+        if (u == source) continue;
+        if (g.NodeType(u) != target_type) continue;
+        auto [lit, inserted] = leg_scores.emplace(u, score);
+        if (!inserted) lit->second = std::max(lit->second, score);
+      }
+    }
+    for (const auto& [u, score] : leg_scores) {
+      auto [cit, inserted] = combined.emplace(u, std::make_pair(score, 1));
+      if (!inserted) {
+        cit->second.first += score;
+        cit->second.second += 1;
+      }
+    }
+  }
+
+  std::vector<std::pair<double, NodeId>> ranked;
+  for (const auto& [u, sc] : combined) {
+    if (sc.second == legs.size()) ranked.emplace_back(sc.first, u);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  std::vector<NodeId> out;
+  out.reserve(ranked.size());
+  for (const auto& [_, u] : ranked) out.push_back(u);
+  return out;
+}
+
+}  // namespace kgsearch

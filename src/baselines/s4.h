@@ -1,0 +1,52 @@
+// S4-style semantic search via mined structural patterns
+// [Zheng et al., PVLDB'16].
+//
+// S4 mines frequent n-hop predicate-sequence patterns from prior-knowledge
+// instance pairs (the paper cites Patty as the source) and answers a query
+// by applying the mined patterns for its predicate. Accuracy is therefore
+// bounded by the coverage of the prior knowledge — exactly the sensitivity
+// the paper discusses in Section I.
+#ifndef KGSEARCH_BASELINES_S4_H_
+#define KGSEARCH_BASELINES_S4_H_
+
+#include <map>
+
+#include "baselines/method.h"
+
+namespace kgsearch {
+
+/// A mined predicate-sequence pattern with its support.
+struct S4Pattern {
+  std::vector<PredicateId> predicates;
+  size_t support = 0;
+};
+
+/// Mines patterns (paths up to max_hops, as predicate sequences) connecting
+/// the given example pairs; keeps patterns with support >= min_support.
+/// Returned patterns are sorted by descending support.
+std::vector<S4Pattern> MineS4Patterns(
+    const KnowledgeGraph& graph,
+    const std::vector<std::pair<NodeId, NodeId>>& examples, size_t max_hops,
+    size_t min_support);
+
+/// S4 baseline: applies patterns mined per query predicate.
+class S4Method : public GraphQueryMethod {
+ public:
+  /// `patterns_by_predicate` maps a query predicate name to the patterns
+  /// mined from that predicate's prior-knowledge instances.
+  S4Method(MethodContext context,
+           std::map<std::string, std::vector<S4Pattern>> patterns_by_predicate);
+
+  std::string name() const override { return "S4"; }
+  Result<std::vector<NodeId>> QueryTopK(const QueryGraph& query,
+                                        int answer_node,
+                                        size_t k) const override;
+
+ private:
+  MethodContext context_;
+  std::map<std::string, std::vector<S4Pattern>> patterns_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_BASELINES_S4_H_

@@ -1,0 +1,134 @@
+#include "baselines/structural.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace kgsearch {
+
+StructuralMethod::StructuralMethod(std::string name, MethodContext context,
+                                   StructuralPolicy policy)
+    : name_(std::move(name)), context_(context), policy_(policy) {
+  KG_CHECK(context_.graph != nullptr);
+}
+
+Result<std::vector<NodeId>> StructuralMethod::QueryTopK(
+    const QueryGraph& query, int answer_node, size_t k) const {
+  KG_RETURN_NOT_OK(query.Validate());
+  const KnowledgeGraph& g = *context_.graph;
+
+  // ---- resolve the answer node's type constraint ----
+  const QueryNode& target = query.node(answer_node);
+  std::vector<TypeId> target_types;
+  if (policy_.use_library && context_.library != nullptr) {
+    for (const Resolution& r : context_.library->ResolveType(target.type)) {
+      TypeId t = g.FindType(r.canonical);
+      if (t != kInvalidSymbol) target_types.push_back(t);
+    }
+  } else {
+    TypeId t = g.FindType(target.type);
+    if (t != kInvalidSymbol) target_types.push_back(t);
+  }
+  std::sort(target_types.begin(), target_types.end());
+  if (target_types.empty()) {
+    return Status::NotFound(name_ + ": unresolved type " + target.type);
+  }
+
+  // ---- one structural leg per specific-to-answer path ----
+  DecomposeOptions dopts;
+  dopts.avg_degree = g.AverageDegree();
+  dopts.n_hat = policy_.hops_per_edge;
+  Result<Decomposition> decomposition =
+      DecomposeQueryForPivot(query, answer_node, dopts);
+  if (!decomposition.ok()) return decomposition.status();
+
+  std::unordered_map<NodeId, std::pair<double, size_t>> combined;  // score, legs
+  const auto& legs = decomposition.ValueOrDie().subqueries;
+  for (const SubQueryGraph& leg : legs) {
+    const QueryNode& anchor = query.node(leg.node_seq.front());
+    std::vector<NodeId> sources;
+    if (policy_.use_library && context_.library != nullptr) {
+      for (const Resolution& r : context_.library->ResolveName(anchor.name)) {
+        NodeId u = g.FindNode(r.canonical);
+        if (u != kInvalidNode) sources.push_back(u);
+      }
+    } else {
+      NodeId u = g.FindNode(anchor.name);
+      if (u != kInvalidNode) sources.push_back(u);
+    }
+    if (sources.empty()) {
+      return Status::NotFound(name_ + ": unresolved entity " + anchor.name);
+    }
+
+    // Multi-source BFS up to the leg's hop budget, predicates ignored.
+    const size_t budget = policy_.hops_per_edge * leg.Length();
+    std::unordered_map<NodeId, size_t> dist;
+    std::queue<NodeId> frontier;
+    for (NodeId s : sources) {
+      dist.emplace(s, 0);
+      frontier.push(s);
+    }
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop();
+      const size_t d = dist[u];
+      if (d >= budget) continue;
+      for (const AdjEntry& adj : g.Neighbors(u)) {
+        if (dist.emplace(adj.neighbor, d + 1).second) {
+          frontier.push(adj.neighbor);
+        }
+      }
+    }
+
+    for (const auto& [u, d] : dist) {
+      if (d == 0) continue;
+      if (!std::binary_search(target_types.begin(), target_types.end(),
+                              g.NodeType(u))) {
+        continue;
+      }
+      // A leg needs >= 1 hop per query edge; nodes nearer than that cannot
+      // embed the whole leg.
+      if (d < leg.Length()) continue;
+      const double score = policy_.distance_scoring
+                               ? 1.0 / (1.0 + static_cast<double>(d))
+                               : 1.0;
+      auto [it, inserted] = combined.emplace(u, std::make_pair(score, 1));
+      if (!inserted) {
+        it->second.first += score;
+        it->second.second += 1;
+      }
+    }
+  }
+
+  // ---- intersection across legs, ranked by summed score ----
+  std::vector<std::pair<double, NodeId>> ranked;
+  for (const auto& [u, sc] : combined) {
+    if (sc.second == legs.size()) ranked.emplace_back(sc.first, u);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+  std::vector<NodeId> out;
+  out.reserve(ranked.size());
+  for (const auto& [_, u] : ranked) out.push_back(u);
+  return out;
+}
+
+std::unique_ptr<GraphQueryMethod> MakeNeMa(MethodContext context) {
+  return std::make_unique<StructuralMethod>(
+      "NeMa", context, StructuralPolicy{true, true, 4});
+}
+
+std::unique_ptr<GraphQueryMethod> MakeGraB(MethodContext context) {
+  return std::make_unique<StructuralMethod>(
+      "GraB", context, StructuralPolicy{false, true, 4});
+}
+
+std::unique_ptr<GraphQueryMethod> MakePHom(MethodContext context) {
+  return std::make_unique<StructuralMethod>(
+      "p-hom", context, StructuralPolicy{true, false, 4});
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,53 @@
+// Structural-similarity baselines: NeMa, GraB, and p-hom style matchers.
+//
+// All three support edge-to-path mapping (a query edge may match an n-hop
+// path) but ignore predicate semantics (Table II); they differ in node
+// resolution and scoring:
+//  - NeMa  [Khan et al., PVLDB'13]: node labels resolve via the
+//    transformation library; candidates score by structural proximity
+//    (closer matches score higher), which is a stand-in for NeMa's
+//    neighborhood-vector cost.
+//  - GraB  [Jin et al., WWW'15]: exact node labels only; candidates score
+//    by a bound on the matching score, which again decays with distance.
+//  - p-hom [Fan et al., PVLDB'10]: node labels resolve via the library;
+//    every bounded-length path is an equally valid edge image, so scores
+//    carry node-similarity only (distance-blind — the reason its precision
+//    trails NeMa's in Table I).
+#ifndef KGSEARCH_BASELINES_STRUCTURAL_H_
+#define KGSEARCH_BASELINES_STRUCTURAL_H_
+
+#include "baselines/method.h"
+
+namespace kgsearch {
+
+/// Capability/scoring switches distinguishing the structural baselines.
+struct StructuralPolicy {
+  bool use_library = false;     ///< node similarity via the library
+  bool distance_scoring = true; ///< score 1/(1+dist) vs. flat node-sim score
+  size_t hops_per_edge = 4;     ///< edge-to-path bound (n̂ analogue)
+};
+
+/// Shared engine behind NeMa/GraB/p-hom.
+class StructuralMethod : public GraphQueryMethod {
+ public:
+  StructuralMethod(std::string name, MethodContext context,
+                   StructuralPolicy policy);
+
+  std::string name() const override { return name_; }
+  Result<std::vector<NodeId>> QueryTopK(const QueryGraph& query,
+                                        int answer_node,
+                                        size_t k) const override;
+
+ private:
+  std::string name_;
+  MethodContext context_;
+  StructuralPolicy policy_;
+};
+
+std::unique_ptr<GraphQueryMethod> MakeNeMa(MethodContext context);
+std::unique_ptr<GraphQueryMethod> MakeGraB(MethodContext context);
+std::unique_ptr<GraphQueryMethod> MakePHom(MethodContext context);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_BASELINES_STRUCTURAL_H_

@@ -1,0 +1,136 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/thread_pool.h"
+
+namespace kgsearch {
+
+std::vector<NodeId> ExtractAnswers(const std::vector<FinalMatch>& matches,
+                                   const Decomposition& decomposition,
+                                   int query_node) {
+  // Locate the (sub-query, position) of the query node once.
+  int sub = -1;
+  size_t pos = 0;
+  for (size_t i = 0; i < decomposition.subqueries.size(); ++i) {
+    const auto& seq = decomposition.subqueries[i].node_seq;
+    for (size_t j = 0; j < seq.size(); ++j) {
+      if (seq[j] == query_node) {
+        sub = static_cast<int>(i);
+        pos = j;
+        break;
+      }
+    }
+    if (sub >= 0) break;
+  }
+  std::vector<NodeId> out;
+  if (sub < 0) return out;
+  std::unordered_set<NodeId> seen;
+  for (const FinalMatch& m : matches) {
+    KG_CHECK(static_cast<size_t>(sub) < m.parts.size());
+    // Prefer the retained alternates (best-first) so non-pivot query nodes
+    // yield every distinct match at this pivot, not just the top one.
+    if (!m.alternates.empty() &&
+        !m.alternates[static_cast<size_t>(sub)].empty()) {
+      for (const PathMatch& alt : m.alternates[static_cast<size_t>(sub)]) {
+        NodeId u = alt.MatchOfQueryNode(pos);
+        if (seen.insert(u).second) out.push_back(u);
+      }
+    } else {
+      NodeId u = m.parts[static_cast<size_t>(sub)].MatchOfQueryNode(pos);
+      if (seen.insert(u).second) out.push_back(u);
+    }
+  }
+  return out;
+}
+
+SgqEngine::SgqEngine(const KnowledgeGraph* graph, const PredicateSpace* space,
+                     const TransformationLibrary* library, const Clock* clock)
+    : graph_(graph), space_(space), matcher_(graph, library), clock_(clock) {
+  KG_CHECK(space != nullptr && clock != nullptr);
+}
+
+Result<QueryResult> SgqEngine::Query(const QueryGraph& query,
+                                     const EngineOptions& options) const {
+  DecomposeOptions dopts;
+  dopts.strategy = options.pivot_strategy;
+  dopts.avg_degree = graph_->AverageDegree();
+  dopts.n_hat = options.n_hat;
+  dopts.seed = options.seed;
+  Result<Decomposition> decomposition = DecomposeQuery(query, dopts);
+  if (!decomposition.ok()) return decomposition.status();
+  return QueryDecomposed(query, decomposition.ValueOrDie(), options);
+}
+
+Result<QueryResult> SgqEngine::QueryDecomposed(
+    const QueryGraph& query, const Decomposition& decomposition,
+    const EngineOptions& options) const {
+  if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  StopWatch watch(clock_);
+
+  QueryResult result;
+  result.decomposition = decomposition;
+  const size_t n = decomposition.subqueries.size();
+  KG_CHECK(n > 0);
+
+  // Resolve every sub-query up front; resolution failures (mismatch in
+  // query nodes/predicates, Figure 1) abort the query.
+  std::vector<ResolvedSubQuery> resolved;
+  resolved.reserve(n);
+  for (const SubQueryGraph& sub : decomposition.subqueries) {
+    Result<ResolvedSubQuery> r = ResolveSubQuery(query, sub, matcher_);
+    if (!r.ok()) return r.status();
+    resolved.push_back(std::move(r).ValueOrDie());
+  }
+
+  result.subquery_stats.assign(n, SearchStats{});
+  size_t budget = std::max<size_t>(options.budget_factor * options.k, 16);
+
+  for (size_t round = 0; round <= options.max_retry_rounds; ++round) {
+    // One A* semantic search per sub-query graph, in parallel.
+    std::vector<std::vector<PathMatch>> match_sets(n);
+    std::vector<Status> statuses(n, Status::OK());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      tasks.push_back([&, i] {
+        AStarConfig config;
+        config.k = budget;
+        config.tau = options.tau;
+        config.n_hat = options.n_hat;
+        config.max_expansions = options.max_expansions;
+        config.dedup = options.dedup;
+        config.max_matches_per_target = options.matches_per_target;
+        Result<std::vector<PathMatch>> r = AStarSearch(
+            *graph_, *space_, resolved[i], config, &result.subquery_stats[i]);
+        if (r.ok()) {
+          match_sets[i] = std::move(r).ValueOrDie();
+        } else {
+          statuses[i] = r.status();
+        }
+      });
+    }
+    size_t threads = options.threads == 0 ? n : options.threads;
+    RunParallel(std::move(tasks), threads);
+    for (const Status& s : statuses) KG_RETURN_NOT_OK(s);
+
+    Result<std::vector<FinalMatch>> assembled =
+        AssembleTopK(match_sets, options.k, &result.ta_stats);
+    if (!assembled.ok()) return assembled.status();
+    result.matches = std::move(assembled).ValueOrDie();
+
+    // Enough final matches, or no sub-query can supply more: done.
+    bool any_search_truncated = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (match_sets[i].size() >= budget) any_search_truncated = true;
+    }
+    if (result.matches.size() >= options.k || !any_search_truncated) break;
+    budget *= 2;  // retry with a larger per-sub-query match budget
+  }
+
+  result.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,98 @@
+// SgqEngine: the semantic-guided graph query engine (Problem 1, Section V).
+//
+// Pipeline: decompose the query graph into sub-query path graphs (Eq. 1),
+// run one A* semantic search per sub-query (multithreaded), and assemble
+// final top-k matches at the pivot with the threshold algorithm.
+#ifndef KGSEARCH_CORE_ENGINE_H_
+#define KGSEARCH_CORE_ENGINE_H_
+
+#include <vector>
+
+#include "core/astar_search.h"
+#include "core/query_graph.h"
+#include "core/ta_assembly.h"
+#include "embedding/predicate_space.h"
+#include "match/node_matcher.h"
+#include "util/clock.h"
+
+namespace kgsearch {
+
+/// Tuning knobs for a semantic-guided query.
+struct EngineOptions {
+  size_t k = 10;           ///< final top-k
+  double tau = 0.8;        ///< pss threshold τ
+  size_t n_hat = 4;        ///< desired hops per query edge n̂
+  size_t threads = 0;      ///< 0 = one per sub-query
+  PivotStrategy pivot_strategy = PivotStrategy::kMinCost;
+  uint64_t seed = 42;      ///< used by kRandom pivot selection
+  /// Collect budget_factor*k matches per sub-query before assembly (the
+  /// paper's "more than k matches collected for each gi" remark).
+  size_t budget_factor = 3;
+  /// When assembly yields < k final matches, re-run sub-queries with a
+  /// doubled budget up to this many extra rounds.
+  size_t max_retry_rounds = 2;
+  /// Safety valve per A* search; 0 = unlimited.
+  uint64_t max_expansions = 4'000'000;
+  /// Partial-path de-duplication discipline (Algorithm 1 vs. exact states).
+  DedupMode dedup = DedupMode::kPaperNodeVisited;
+  /// Sub-query matches emitted per distinct target node (> 1 needs
+  /// kExactState); raise when answers are read off a non-pivot query node.
+  size_t matches_per_target = 1;
+};
+
+/// Everything produced by one query execution.
+struct QueryResult {
+  std::vector<FinalMatch> matches;       ///< descending score
+  Decomposition decomposition;
+  std::vector<SearchStats> subquery_stats;
+  TaStats ta_stats;
+  double elapsed_ms = 0.0;
+
+  /// Convenience: the answer entities (pivot node matches), in rank order.
+  std::vector<NodeId> AnswerIds() const {
+    std::vector<NodeId> out;
+    out.reserve(matches.size());
+    for (const FinalMatch& m : matches) out.push_back(m.pivot_match);
+    return out;
+  }
+};
+
+/// Extracts the KG matches of query node `query_node` from final matches,
+/// deduplicated and in rank order. Works for any query node covered by the
+/// decomposition (the pivot is just `FinalMatch::pivot_match`).
+std::vector<NodeId> ExtractAnswers(const std::vector<FinalMatch>& matches,
+                                   const Decomposition& decomposition,
+                                   int query_node);
+
+/// Facade tying graph, predicate space, and node matching together.
+class SgqEngine {
+ public:
+  /// All pointers must outlive the engine.
+  SgqEngine(const KnowledgeGraph* graph, const PredicateSpace* space,
+            const TransformationLibrary* library,
+            const Clock* clock = SystemClock::Default());
+
+  /// Runs the full pipeline on `query`.
+  Result<QueryResult> Query(const QueryGraph& query,
+                            const EngineOptions& options) const;
+
+  /// Runs with a caller-supplied decomposition (pivot experiments of
+  /// Section VII-C use this to force a particular pivot).
+  Result<QueryResult> QueryDecomposed(const QueryGraph& query,
+                                      const Decomposition& decomposition,
+                                      const EngineOptions& options) const;
+
+  const KnowledgeGraph& graph() const { return *graph_; }
+  const PredicateSpace& space() const { return *space_; }
+  const NodeMatcher& matcher() const { return matcher_; }
+
+ private:
+  const KnowledgeGraph* graph_;
+  const PredicateSpace* space_;
+  NodeMatcher matcher_;
+  const Clock* clock_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_CORE_ENGINE_H_

@@ -1,0 +1,52 @@
+// Match types shared by the A* search and the TA assembly.
+#ifndef KGSEARCH_CORE_PATH_MATCH_H_
+#define KGSEARCH_CORE_PATH_MATCH_H_
+
+#include <vector>
+
+#include "kg/graph.h"
+
+namespace kgsearch {
+
+/// A sub-query graph match (Definition 7): a path in the semantic graph from
+/// a node match of the specific node to one of the target node, annotated
+/// with per-edge semantic weights and the resulting pss (Eq. 6).
+struct PathMatch {
+  std::vector<NodeId> nodes;            ///< path nodes; size = hops + 1
+  std::vector<PredicateId> predicates;  ///< traversed predicates; size = hops
+  std::vector<double> weights;          ///< semantic weights; size = hops
+  /// stage_ends[i] = index into `nodes` of the node that matched query node
+  /// i+1 of the sub-query path (edge match i ends there). Size = number of
+  /// query edges; the last entry is nodes.size() - 1.
+  std::vector<uint32_t> stage_ends;
+  double pss = 0.0;
+
+  /// The KG node matched to query-node position `pos` of the sub-query path
+  /// (0 = the specific start node).
+  NodeId MatchOfQueryNode(size_t pos) const {
+    if (pos == 0) return nodes.front();
+    KG_CHECK(pos - 1 < stage_ends.size());
+    return nodes[stage_ends[pos - 1]];
+  }
+
+  size_t Hops() const { return predicates.size(); }
+  NodeId source() const { return nodes.front(); }
+  /// The endpoint matching the sub-query's target (pivot) node.
+  NodeId target() const { return nodes.back(); }
+};
+
+/// A final match for the whole query graph: one sub-query match per
+/// decomposition path, joined at the pivot node match (Eq. 2).
+struct FinalMatch {
+  NodeId pivot_match = kInvalidNode;
+  double score = 0.0;  ///< Sm(u^p): sum of sub-query pss values
+  std::vector<PathMatch> parts;  ///< one per sub-query, in decomposition order
+  /// Up to a few additional matches per sub-query sharing this pivot match
+  /// (best-first, parts[i] == alternates[i][0]). Used to enumerate matches
+  /// of non-pivot query nodes; does not affect the match score.
+  std::vector<std::vector<PathMatch>> alternates;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_CORE_PATH_MATCH_H_

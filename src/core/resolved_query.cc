@@ -1,0 +1,57 @@
+#include "core/resolved_query.h"
+
+#include <algorithm>
+
+namespace kgsearch {
+
+Result<ResolvedSubQuery> ResolveSubQuery(const QueryGraph& query,
+                                         const SubQueryGraph& path,
+                                         const NodeMatcher& matcher) {
+  KG_CHECK(path.node_seq.size() == path.edge_seq.size() + 1);
+  const KnowledgeGraph& graph = *matcher.graph();
+  ResolvedSubQuery out;
+
+  for (int ei : path.edge_seq) {
+    const QueryEdge& qe = query.edge(ei);
+    PredicateId p = graph.FindPredicate(qe.predicate);
+    if (p == kInvalidSymbol) {
+      return Status::NotFound("query predicate not in KG vocabulary: " +
+                              qe.predicate);
+    }
+    out.edge_predicates.push_back(p);
+  }
+
+  for (int ni : path.node_seq) {
+    const QueryNode& qn = query.node(ni);
+    NodeConstraint c;
+    if (qn.is_specific()) {
+      c.specific = true;
+      c.nodes = matcher.MatchByName(qn.name);
+      std::sort(c.nodes.begin(), c.nodes.end());
+      if (c.nodes.empty()) {
+        return Status::NotFound("no node match for specific node '" +
+                                qn.name + "'");
+      }
+    } else {
+      c.specific = false;
+      c.types = matcher.MatchTypes(qn.type);
+      std::sort(c.types.begin(), c.types.end());
+      if (c.types.empty()) {
+        return Status::NotFound("no type match for target node type '" +
+                                qn.type + "'");
+      }
+    }
+    out.node_constraints.push_back(std::move(c));
+  }
+
+  out.start_candidates = out.node_constraints.front().nodes;
+  KG_CHECK(!out.node_constraints.front().specific ||
+           !out.start_candidates.empty());
+  if (!out.node_constraints.front().specific) {
+    return Status::InvalidArgument(
+        "sub-query paths must start at a specific node");
+  }
+  return out;
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,55 @@
+// Resolution of a sub-query graph against a concrete knowledge graph:
+// query labels become node-id / type-id / predicate-id constraints.
+#ifndef KGSEARCH_CORE_RESOLVED_QUERY_H_
+#define KGSEARCH_CORE_RESOLVED_QUERY_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/query_graph.h"
+#include "kg/graph.h"
+#include "match/node_matcher.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// Constraint a KG node must satisfy to match one query node.
+struct NodeConstraint {
+  bool specific = false;
+  std::vector<NodeId> nodes;  ///< allowed node ids (specific nodes), sorted
+  std::vector<TypeId> types;  ///< allowed type ids (target nodes), sorted
+
+  /// True when KG node `u` satisfies this constraint.
+  bool Matches(const KnowledgeGraph& graph, NodeId u) const {
+    if (specific) {
+      return std::binary_search(nodes.begin(), nodes.end(), u);
+    }
+    return std::binary_search(types.begin(), types.end(), graph.NodeType(u));
+  }
+};
+
+/// A sub-query path graph with all labels resolved to graph ids.
+///
+/// node_constraints has L+1 entries for L query edges; entry 0 is the
+/// specific start node, entry L the target/pivot node. edge_predicates[i]
+/// is the predicate to compare traversed edges against while matching query
+/// edge i (Definition 5 weights).
+struct ResolvedSubQuery {
+  std::vector<PredicateId> edge_predicates;
+  std::vector<NodeConstraint> node_constraints;
+  std::vector<NodeId> start_candidates;  ///< φ(v^s)
+
+  size_t Length() const { return edge_predicates.size(); }
+};
+
+/// Resolves one decomposition path against the graph via the node matcher.
+///
+/// Fails with NotFound when the specific node, the target type, or a query
+/// predicate cannot be resolved (the "mismatch" cases of Figure 1).
+Result<ResolvedSubQuery> ResolveSubQuery(const QueryGraph& query,
+                                         const SubQueryGraph& path,
+                                         const NodeMatcher& matcher);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_CORE_RESOLVED_QUERY_H_

@@ -1,0 +1,174 @@
+#include "core/ta_assembly.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace kgsearch {
+
+namespace {
+
+/// Retained alternate matches per (set, pivot); enough to enumerate
+/// non-pivot answers without bloating the join state.
+constexpr size_t kAlternatesCap = 8;
+
+/// Join state for one pivot node match u^p.
+struct Candidate {
+  /// Index of the best (first-seen) match per set; -1 when unseen.
+  std::vector<int32_t> best_match;
+  /// Up to kAlternatesCap match indexes per set, in access (= pss) order.
+  std::vector<std::vector<int32_t>> alternates;
+  /// Sum of seen contributions = the lower bound Sm̲(u^p) (Eq. 8-9); exact
+  /// once all sets contributed, since per-set first access is the best.
+  double lower = 0.0;
+  size_t seen_count = 0;
+};
+
+}  // namespace
+
+Result<std::vector<FinalMatch>> AssembleTopK(
+    const std::vector<std::vector<PathMatch>>& match_sets, size_t k,
+    TaStats* stats) {
+  TaStats local;
+  TaStats& st = stats ? *stats : local;
+  st = TaStats{};
+  const size_t n = match_sets.size();
+  if (n == 0 || k == 0) return std::vector<FinalMatch>{};
+  for (const auto& set : match_sets) {
+    if (set.empty()) return std::vector<FinalMatch>{};  // inner join is empty
+  }
+
+  std::vector<size_t> cursor(n, 0);
+  // ψcur per set: pss of the latest accessed match (Eq. 11); once a set is
+  // exhausted it can no longer contribute to unseen candidates.
+  std::vector<double> psi_cur(n);
+  std::vector<bool> exhausted(n, false);
+  for (size_t i = 0; i < n; ++i) psi_cur[i] = match_sets[i].front().pss;
+
+  std::unordered_map<NodeId, Candidate> candidates;
+
+  auto unseen_bound = [&](size_t set_index) {
+    return exhausted[set_index] ? 0.0 : psi_cur[set_index];
+  };
+
+  // Upper bound Sm̄(u^p) (Eq. 10-11).
+  auto upper_of = [&](const Candidate& c) {
+    double u = c.lower;
+    for (size_t i = 0; i < n; ++i) {
+      if (c.best_match[i] < 0) u += unseen_bound(i);
+    }
+    return u;
+  };
+
+  auto all_exhausted = [&] {
+    for (size_t i = 0; i < n; ++i) {
+      if (!exhausted[i]) return false;
+    }
+    return true;
+  };
+
+  // Checks Theorem 3's termination: the k-th largest lower bound among
+  // complete candidates vs. the best upper bound of everything else,
+  // including never-seen pivots (classic TA threshold θ = Σ ψcur).
+  auto can_terminate = [&] {
+    std::vector<std::pair<double, NodeId>> complete;
+    for (const auto& [pivot, c] : candidates) {
+      if (c.seen_count == n) complete.emplace_back(c.lower, pivot);
+    }
+    if (complete.size() < k) {
+      if (!all_exhausted()) return false;
+    }
+    std::sort(complete.begin(), complete.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    if (all_exhausted()) return true;
+    if (complete.size() < k) return false;
+    const double lk = complete[k - 1].first;
+    std::unordered_map<NodeId, bool> topk;
+    for (size_t i = 0; i < k; ++i) topk[complete[i].second] = true;
+    double umax = 0.0;
+    for (size_t i = 0; i < n; ++i) umax += unseen_bound(i);  // θ, unseen pivots
+    for (const auto& [pivot, c] : candidates) {
+      if (topk.count(pivot)) continue;
+      umax = std::max(umax, upper_of(c));
+    }
+    return lk >= umax - 1e-12;
+  };
+
+  // Sorted accesses in round-robin over the n match sets.
+  size_t next_set = 0;
+  size_t check_counter = 0;
+  while (!all_exhausted()) {
+    // Find the next non-exhausted set in round-robin order.
+    size_t i = next_set;
+    for (size_t tries = 0; tries < n && exhausted[i]; ++tries) i = (i + 1) % n;
+    next_set = (i + 1) % n;
+
+    const auto& set = match_sets[i];
+    const PathMatch& m = set[cursor[i]];
+    psi_cur[i] = m.pss;
+    ++st.sorted_accesses;
+
+    Candidate& c = candidates[m.target()];
+    if (c.best_match.empty()) {
+      c.best_match.assign(n, -1);
+      c.alternates.assign(n, {});
+    }
+    if (c.best_match[i] < 0) {
+      // First (= best, lists are sorted) contribution of set i to this pivot.
+      c.best_match[i] = static_cast<int32_t>(cursor[i]);
+      c.lower += m.pss;
+      ++c.seen_count;
+    }
+    if (c.alternates[i].size() < kAlternatesCap) {
+      c.alternates[i].push_back(static_cast<int32_t>(cursor[i]));
+    }
+
+    if (++cursor[i] >= set.size()) exhausted[i] = true;
+
+    // Termination check per TA access; the check is O(|candidates|), so for
+    // large joins amortize it every few accesses.
+    if (++check_counter >= 4 || all_exhausted()) {
+      check_counter = 0;
+      if (can_terminate()) {
+        st.early_terminated = !all_exhausted();
+        break;
+      }
+    }
+  }
+  st.candidates_seen = candidates.size();
+
+  // Rank complete candidates by exact score.
+  std::vector<std::pair<double, NodeId>> complete;
+  for (const auto& [pivot, c] : candidates) {
+    if (c.seen_count == n) complete.emplace_back(c.lower, pivot);
+  }
+  std::sort(complete.begin(), complete.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  if (complete.size() > k) complete.resize(k);
+
+  std::vector<FinalMatch> out;
+  out.reserve(complete.size());
+  for (const auto& [score, pivot] : complete) {
+    const Candidate& c = candidates.at(pivot);
+    FinalMatch fm;
+    fm.pivot_match = pivot;
+    fm.score = score;
+    fm.parts.reserve(n);
+    fm.alternates.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      fm.parts.push_back(match_sets[i][static_cast<size_t>(c.best_match[i])]);
+      for (int32_t idx : c.alternates[i]) {
+        fm.alternates[i].push_back(match_sets[i][static_cast<size_t>(idx)]);
+      }
+    }
+    out.push_back(std::move(fm));
+  }
+  return out;
+}
+
+}  // namespace kgsearch

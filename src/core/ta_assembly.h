@@ -1,0 +1,40 @@
+// Threshold-algorithm (TA) based assembly of sub-query matches into final
+// top-k matches for the query graph (Section V-C, Fagin's TA).
+#ifndef KGSEARCH_CORE_TA_ASSEMBLY_H_
+#define KGSEARCH_CORE_TA_ASSEMBLY_H_
+
+#include <vector>
+
+#include "core/path_match.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// Counters describing one assembly run.
+struct TaStats {
+  size_t sorted_accesses = 0;
+  /// True when Lk >= Umax terminated the scan before exhausting the lists
+  /// (Theorem 3); false when every match was accessed.
+  bool early_terminated = false;
+  size_t candidates_seen = 0;
+};
+
+/// Assembles the top-k final matches by joining the per-sub-query match sets
+/// at the pivot node match (Eq. 2-3).
+///
+/// Each inner vector must be sorted by descending pss (the natural output
+/// order of AStarSearch). A final match requires a sub-query match in every
+/// set sharing the same pivot node (inner join, Figure 4); its score is the
+/// sum of the best pss per set. Early termination follows Theorem 3, with
+/// the classic TA threshold (sum of current cursor pss values) additionally
+/// bounding candidates not yet seen at all.
+///
+/// Returns at most k matches in descending score order (fewer when the join
+/// yields fewer complete matches).
+Result<std::vector<FinalMatch>> AssembleTopK(
+    const std::vector<std::vector<PathMatch>>& match_sets, size_t k,
+    TaStats* stats = nullptr);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_CORE_TA_ASSEMBLY_H_

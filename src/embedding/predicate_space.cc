@@ -1,0 +1,126 @@
+#include "embedding/predicate_space.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+PredicateSpace::PredicateSpace(std::vector<FloatVec> vectors,
+                               std::vector<std::string> names)
+    : vectors_(std::move(vectors)), names_(std::move(names)) {
+  KG_CHECK(vectors_.size() == names_.size());
+  for (FloatVec& v : vectors_) NormalizeInPlace(&v);
+}
+
+PredicateSpace PredicateSpace::FromTransE(const KnowledgeGraph& graph,
+                                          const TransEEmbedding& embedding) {
+  KG_CHECK(embedding.predicate.size() == graph.NumPredicates());
+  std::vector<std::string> names;
+  names.reserve(graph.NumPredicates());
+  for (PredicateId p = 0; p < graph.NumPredicates(); ++p) {
+    names.emplace_back(graph.PredicateName(p));
+  }
+  return PredicateSpace(embedding.predicate, std::move(names));
+}
+
+double PredicateSpace::Cosine(PredicateId a, PredicateId b) const {
+  KG_CHECK(a < vectors_.size() && b < vectors_.size());
+  if (a == b) return 1.0;
+  // Vectors are unit-normalized at construction, so the dot is the cosine.
+  return Dot(vectors_[a], vectors_[b]);
+}
+
+std::vector<SimilarPredicate> PredicateSpace::TopSimilar(PredicateId p,
+                                                         size_t n) const {
+  KG_CHECK(p < vectors_.size());
+  std::vector<SimilarPredicate> all;
+  all.reserve(vectors_.size());
+  for (PredicateId q = 0; q < vectors_.size(); ++q) {
+    if (q == p) continue;
+    all.push_back(SimilarPredicate{q, Cosine(p, q)});
+  }
+  size_t keep = std::min(n, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<int64_t>(keep),
+                    all.end(),
+                    [](const SimilarPredicate& x, const SimilarPredicate& y) {
+                      if (x.similarity != y.similarity) {
+                        return x.similarity > y.similarity;
+                      }
+                      return x.predicate < y.predicate;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+std::string PredicateSpace::Serialize() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    out << names_[i] << ' ' << vectors_[i].size();
+    for (float x : vectors_[i]) out << ' ' << x;
+    out << '\n';
+  }
+  return out.str();
+}
+
+Result<PredicateSpace> PredicateSpace::Deserialize(
+    std::string_view text, const KnowledgeGraph* graph) {
+  std::vector<FloatVec> vectors;
+  std::vector<std::string> names;
+  int lineno = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() : eol + 1;
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::istringstream in{std::string(trimmed)};
+    std::string name;
+    size_t dim = 0;
+    if (!(in >> name >> dim) || dim == 0) {
+      return Status::ParseError(
+          StrFormat("line %d: expected 'name dim v...'", lineno));
+    }
+    FloatVec v(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      if (!(in >> v[i])) {
+        return Status::ParseError(
+            StrFormat("line %d: expected %zu vector components", lineno, dim));
+      }
+    }
+    names.push_back(std::move(name));
+    vectors.push_back(std::move(v));
+  }
+  if (graph == nullptr) {
+    return PredicateSpace(std::move(vectors), std::move(names));
+  }
+  // Reorder to the graph's predicate ids; every graph predicate must appear.
+  std::vector<FloatVec> ordered(graph->NumPredicates());
+  std::vector<std::string> ordered_names(graph->NumPredicates());
+  std::vector<bool> seen(graph->NumPredicates(), false);
+  for (size_t i = 0; i < names.size(); ++i) {
+    PredicateId p = graph->FindPredicate(names[i]);
+    if (p == kInvalidSymbol) {
+      return Status::ParseError("unknown predicate in space: " + names[i]);
+    }
+    ordered[p] = std::move(vectors[i]);
+    ordered_names[p] = names[i];
+    seen[p] = true;
+  }
+  for (PredicateId p = 0; p < graph->NumPredicates(); ++p) {
+    if (!seen[p]) {
+      return Status::ParseError(
+          "predicate missing from space: " +
+          std::string(graph->PredicateName(p)));
+    }
+  }
+  return PredicateSpace(std::move(ordered), std::move(ordered_names));
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,81 @@
+// The predicate semantic space E (Section IV-A).
+//
+// Holds one vector per predicate of a knowledge graph and answers cosine
+// similarity queries between predicates (Eq. 5). Weights entering the
+// semantic graph are clamped to [kMinWeight, 1] so the geometric-mean pss
+// (Eq. 6) stays well defined.
+#ifndef KGSEARCH_EMBEDDING_PREDICATE_SPACE_H_
+#define KGSEARCH_EMBEDDING_PREDICATE_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "embedding/transe.h"
+#include "embedding/vector_math.h"
+#include "kg/graph.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// Smallest admissible similarity weight; cosines at or below zero clamp
+/// here so pss products remain positive.
+inline constexpr double kMinWeight = 1e-6;
+
+/// A (predicate, similarity) pair returned by top-N queries.
+struct SimilarPredicate {
+  PredicateId predicate;
+  double similarity;
+};
+
+/// Immutable predicate semantic space with cached pairwise similarities.
+class PredicateSpace {
+ public:
+  /// Builds from explicit vectors, one per predicate id (normalized copies
+  /// are stored). `names` are kept for diagnostics/serialization.
+  PredicateSpace(std::vector<FloatVec> vectors, std::vector<std::string> names);
+
+  /// Builds from a trained TransE embedding over `graph`.
+  static PredicateSpace FromTransE(const KnowledgeGraph& graph,
+                                   const TransEEmbedding& embedding);
+
+  size_t NumPredicates() const { return vectors_.size(); }
+  const std::string& PredicateName(PredicateId p) const {
+    KG_CHECK(p < names_.size());
+    return names_[p];
+  }
+  const FloatVec& Vector(PredicateId p) const {
+    KG_CHECK(p < vectors_.size());
+    return vectors_[p];
+  }
+
+  /// Raw cosine similarity in [-1, 1].
+  double Cosine(PredicateId a, PredicateId b) const;
+
+  /// Edge weight per Eq. 5, clamped into [kMinWeight, 1].
+  double Weight(PredicateId a, PredicateId b) const {
+    double c = Cosine(a, b);
+    if (c < kMinWeight) return kMinWeight;
+    if (c > 1.0) return 1.0;
+    return c;
+  }
+
+  /// The `n` predicates most similar to `p` (excluding `p`), descending.
+  std::vector<SimilarPredicate> TopSimilar(PredicateId p, size_t n) const;
+
+  /// Text serialization: one line per predicate, "name dim v1 v2 ...".
+  std::string Serialize() const;
+
+  /// Parses Serialize() output. Predicate ids are assigned in line order;
+  /// `graph` (when given) validates that names resolve to its predicates and
+  /// reorders vectors to graph predicate ids.
+  static Result<PredicateSpace> Deserialize(std::string_view text,
+                                            const KnowledgeGraph* graph);
+
+ private:
+  std::vector<FloatVec> vectors_;  // unit-normalized
+  std::vector<std::string> names_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_EMBEDDING_PREDICATE_SPACE_H_

@@ -1,0 +1,64 @@
+#include "eval/metrics.h"
+
+#include <set>
+
+namespace kgsearch {
+
+Prf ComputePrf(const std::vector<NodeId>& answers,
+               const std::vector<NodeId>& gold) {
+  Prf out;
+  if (answers.empty() || gold.empty()) return out;
+  std::set<NodeId> seen;
+  size_t hits = 0;
+  size_t distinct = 0;
+  for (NodeId a : answers) {
+    if (!seen.insert(a).second) continue;
+    ++distinct;
+    if (std::binary_search(gold.begin(), gold.end(), a)) ++hits;
+  }
+  out.precision = static_cast<double>(hits) / static_cast<double>(distinct);
+  out.recall = static_cast<double>(hits) / static_cast<double>(gold.size());
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+double Jaccard(std::vector<NodeId> a, std::vector<NodeId> b) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  if (a.empty() && b.empty()) return 1.0;
+  std::vector<NodeId> inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  const double uni = static_cast<double>(a.size() + b.size() - inter.size());
+  return uni == 0.0 ? 1.0 : static_cast<double>(inter.size()) / uni;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  KG_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,40 @@
+// Effectiveness metrics: precision/recall/F1 at k, Jaccard similarity of
+// answer sets (Eq. 12), and the Pearson correlation used by the user study.
+#ifndef KGSEARCH_EVAL_METRICS_H_
+#define KGSEARCH_EVAL_METRICS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "kg/graph.h"
+
+namespace kgsearch {
+
+/// Precision / recall / F1 triple.
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes P/R/F1 of `answers` (ranked, possibly with duplicates removed
+/// by the caller) against a sorted `gold` set. Precision is over the
+/// returned answers, recall over the gold set (Section VII-A).
+Prf ComputePrf(const std::vector<NodeId>& answers,
+               const std::vector<NodeId>& gold);
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two answer sets (order ignored).
+double Jaccard(std::vector<NodeId> a, std::vector<NodeId> b);
+
+/// Pearson correlation coefficient of two equally sized samples; 0 when
+/// either sample has zero variance.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_EVAL_METRICS_H_

@@ -1,0 +1,80 @@
+#include "eval/reporter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+void Table::AddRow(std::vector<std::string> cells) {
+  KG_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Cell(double v, int decimals) {
+  return StrFormat("%.*f", decimals, v);
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string rule;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto esc = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c) out += ',';
+    out += esc(header_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += esc(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::Print(const std::string& title) const {
+  std::printf("\n=== %s ===\n%s", title.c_str(), ToText().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,38 @@
+// Fixed-width table reporter used by the benchmark harness to print the
+// paper's tables/figure series, plus CSV export.
+#ifndef KGSEARCH_EVAL_REPORTER_H_
+#define KGSEARCH_EVAL_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace kgsearch {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds a row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for mixed cells; formats doubles with 3 decimals.
+  static std::string Cell(double v, int decimals = 3);
+
+  /// Renders with aligned columns.
+  std::string ToText() const;
+  /// Renders as CSV.
+  std::string ToCsv() const;
+
+  /// Prints ToText() to stdout with a title line.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_EVAL_REPORTER_H_

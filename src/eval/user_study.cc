@@ -1,0 +1,60 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace kgsearch {
+
+double SimulateUserStudyPcc(const std::vector<NodeId>& ranked,
+                            const std::vector<double>& scores,
+                            const std::vector<NodeId>& gold,
+                            const UserStudyConfig& config) {
+  KG_CHECK(ranked.size() == scores.size());
+  if (ranked.size() < 2) return 0.0;
+  Rng rng(config.seed);
+
+  // Group answers by (rounded) match score; pairs are drawn across groups
+  // so the two answers never tie (as in the paper's setup).
+  const double smin = *std::min_element(scores.begin(), scores.end());
+  const double smax = *std::max_element(scores.begin(), scores.end());
+  const double span = std::max(1e-9, smax - smin);
+  auto group_of = [&](double s) {
+    return static_cast<int>(std::floor((s - smin) / span * 6.0));
+  };
+
+  // Latent utility: gold membership dominates, score refines.
+  auto utility = [&](size_t idx) {
+    const bool is_gold =
+        std::binary_search(gold.begin(), gold.end(), ranked[idx]);
+    const double norm = (scores[idx] - smin) / span;
+    return (is_gold ? 0.7 : 0.0) + 0.3 * norm;
+  };
+
+  std::vector<double> x, y;
+  size_t attempts = 0;
+  while (x.size() < config.num_pairs && attempts < config.num_pairs * 40) {
+    ++attempts;
+    size_t i = rng.UniformIndex(ranked.size());
+    size_t j = rng.UniformIndex(ranked.size());
+    if (i == j || group_of(scores[i]) == group_of(scores[j])) continue;
+    const double ui = utility(i), uj = utility(j);
+    int prefer_i = 0;
+    for (size_t a = 0; a < config.annotators; ++a) {
+      const double noisy_i = ui + rng.Normal(0.0, config.annotator_noise);
+      const double noisy_j = uj + rng.Normal(0.0, config.annotator_noise);
+      if (noisy_i > noisy_j) ++prefer_i;
+    }
+    // X: rank difference oriented as "how much worse j ranks than i"
+    // (positive when i ranks better). Y: preference-count difference in i's
+    // favour. Agreement between SGQ and annotators yields positive PCC.
+    x.push_back(static_cast<double>(j) - static_cast<double>(i));
+    y.push_back(static_cast<double>(prefer_i) -
+                static_cast<double>(config.annotators - prefer_i));
+  }
+  if (x.size() < 2) return 0.0;
+  return PearsonCorrelation(x, y);
+}
+
+}  // namespace kgsearch

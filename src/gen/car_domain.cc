@@ -1,0 +1,123 @@
+#include "gen/car_domain.h"
+
+namespace kgsearch {
+
+DatasetSpec CarDomainSpec(size_t num_cars, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "car-domain";
+  spec.seed = seed;
+  spec.embedding_dim = 64;
+  spec.filler_entities = 400;
+  spec.filler_edges = 1500;
+  spec.filler_predicates = 6;
+  // The fixture relies on the hand-written library records below; keep the
+  // auto-generated aliases registered so node noise stays interpretable.
+  spec.unknown_alias_fraction = 0.4;
+
+  IntentSpec produced;
+  produced.name = "produced";
+  produced.anchor_type = "Country";
+  produced.anchor_names = {"Germany", "Italy", "Japan", "USA"};
+  produced.mids_per_anchor = 4;
+  auto P = [&produced](const char* name, double strength) {
+    produced.predicates.push_back(PredicateSpec{name, strength});
+    return std::string(name);
+  };
+  // The paper's semantic space around "product" (Figure 2 reports
+  // sim(product, assembly)=0.98, sim(product, designer)=0.85 as a *learned*
+  // value; we keep designer clearly below τ so the distractor schema stays
+  // semantically wrong, matching the paper's final answer table).
+  P("product", 0.98);  // query-only predicate (G3Q)
+  P("assembly", 0.97);
+  P("country", 0.93);
+  P("manufacturer", 0.94);
+  P("location", 0.92);
+  P("locationCountry", 0.93);
+  P("designCompany", 0.90);
+  P("designer", 0.55);
+  P("nationality", 0.50);
+  P("engine", 0.45);
+  P("relatedTo", 0.40);
+  produced.query_predicate = "product";
+
+  // The seven schemas of the paper's Q117 result table.
+  // Gold (QALD validation set): schemas 1-4.
+  produced.templates.push_back(
+      PathTemplate{{"assembly"}, {}, true, 0.26});                     // 1
+  produced.templates.push_back(
+      PathTemplate{{"assembly", "country"}, {"City"}, true, 0.16});    // 2
+  produced.templates.push_back(
+      PathTemplate{{"manufacturer", "location"}, {"Company"}, true,
+                   0.12});                                             // 3
+  produced.templates.push_back(
+      PathTemplate{{"manufacturer", "locationCountry"}, {"Company"}, true,
+                   0.10});                                             // 4
+  // Reasonable-but-unvalidated (found by SGQ, not in the gold set): 5-7.
+  produced.templates.push_back(
+      PathTemplate{{"assembly", "location"}, {"Company"}, false, 0.06});
+  produced.templates.push_back(
+      PathTemplate{{"assembly", "locationCountry"}, {"Company"}, false,
+                   0.05});
+  produced.templates.push_back(
+      PathTemplate{{"designCompany", "location"}, {"Company"}, false, 0.05});
+  // Distractors: designed by a person of that nationality (2-hop) and a
+  // generic related-to edge (1-hop) — both semantically wrong, both found
+  // by structural matchers that ignore predicate semantics.
+  produced.templates.push_back(
+      PathTemplate{{"designer", "nationality"}, {"Person"}, false, 0.14});
+  produced.templates.push_back(
+      PathTemplate{{"relatedTo"}, {}, false, 0.06});
+
+  GroupSpec cars;
+  cars.subject_type = "Automobile";
+  cars.num_subjects = num_cars;
+  cars.participation = 0.95;
+  cars.extra_path_prob = 0.35;
+  cars.intents.push_back(std::move(produced));
+  spec.groups.push_back(std::move(cars));
+  return spec;
+}
+
+Result<std::unique_ptr<GeneratedDataset>> MakeCarDomainDataset(
+    size_t num_cars, uint64_t seed) {
+  Result<std::unique_ptr<GeneratedDataset>> result =
+      GenerateDataset(CarDomainSpec(num_cars, seed));
+  if (!result.ok()) return result.status();
+  std::unique_ptr<GeneratedDataset> ds = std::move(result).ValueOrDie();
+  // Table III of the paper.
+  ds->library.AddTypeSynonym("Car", "Automobile");
+  ds->library.AddTypeSynonym("Motorcar", "Automobile");
+  ds->library.AddTypeSynonym("Auto", "Automobile");
+  ds->library.AddTypeSynonym("Vehicle", "Automobile");
+  ds->library.AddNameAbbreviation("GER", "Germany");
+  ds->library.AddNameAbbreviation("FRG", "Germany");
+  ds->library.AddNameSynonym("Federal Republic of Germany", "Germany");
+  return ds;
+}
+
+QueryGraph MakeQ117Variant(int variant) {
+  KG_CHECK(variant >= 1 && variant <= 4);
+  QueryGraph q;
+  int car;
+  switch (variant) {
+    case 1:
+      car = q.AddTargetNode("Car");
+      q.AddEdge(car, q.AddSpecificNode("Country", "Germany"), "assembly");
+      break;
+    case 2:
+      car = q.AddTargetNode("Automobile");
+      q.AddEdge(car, q.AddSpecificNode("Country", "GER"), "assembly");
+      break;
+    case 3:
+      car = q.AddTargetNode("Automobile");
+      q.AddEdge(car, q.AddSpecificNode("Country", "Germany"), "product");
+      break;
+    default:
+      car = q.AddTargetNode("Automobile");
+      q.AddEdge(car, q.AddSpecificNode("Country", "Germany"), "assembly");
+      break;
+  }
+  return q;
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,42 @@
+// The Q117 fixture: "Find all cars that are produced in Germany".
+//
+// A hand-specified miniature of the DBpedia neighbourhood around QALD-4's
+// Q117 (Figure 1 / Table I): automobiles connect to countries through the
+// paper's seven observed schemas plus a designer/nationality distractor.
+// Gold answers cover the four schemas of the QALD validation set; schemas
+// 5-7 are "reasonable but unvalidated" (they depress precision exactly as
+// in the paper's detailed Q117 result table). The transformation library
+// carries the paper's records: Car/Motorcar/Auto/Vehicle -> Automobile and
+// GER/FRG -> Germany.
+#ifndef KGSEARCH_GEN_CAR_DOMAIN_H_
+#define KGSEARCH_GEN_CAR_DOMAIN_H_
+
+#include "core/query_graph.h"
+#include "gen/synthetic_kg.h"
+
+namespace kgsearch {
+
+/// Index of the "produced" intent inside the car-domain dataset.
+inline constexpr size_t kCarProducedIntent = 0;
+/// Anchor index of Germany inside the "produced" intent.
+inline constexpr size_t kCarGermanyAnchor = 0;
+
+/// DatasetSpec for the car domain. `num_cars` sizes the automobile pool.
+DatasetSpec CarDomainSpec(size_t num_cars = 300, uint64_t seed = 117);
+
+/// Generates the car-domain dataset and installs the paper's
+/// synonym/abbreviation records (Car->Automobile, GER->Germany, ...).
+Result<std::unique_ptr<GeneratedDataset>> MakeCarDomainDataset(
+    size_t num_cars = 300, uint64_t seed = 117);
+
+/// The four query-graph variants of Figure 1 for Q117. All share the intent
+/// "find cars produced in Germany" with different syntax:
+///   1: type <Car> (synonym needed), predicate assembly
+///   2: name GER (abbreviation needed), predicate assembly
+///   3: type <Automobile>, predicate product (query-only predicate)
+///   4: type <Automobile>, predicate assembly
+QueryGraph MakeQ117Variant(int variant);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_GEN_CAR_DOMAIN_H_

@@ -1,0 +1,425 @@
+#include "gen/synthetic_kg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+namespace {
+
+/// Builds a vector with exact cosine `strength` against `centroid`:
+/// v = s·c + sqrt(1-s²)·u, with u a fresh unit vector orthogonalized
+/// against c.
+FloatVec VectorWithStrength(const FloatVec& centroid, double strength,
+                            Rng* rng) {
+  KG_CHECK(strength > 0.0 && strength <= 1.0);
+  FloatVec u = RandomUnitVec(centroid.size(), rng);
+  // Gram-Schmidt against the centroid.
+  double proj = Dot(u, centroid);
+  Axpy(-proj, centroid, &u);
+  NormalizeInPlace(&u);
+  FloatVec v(centroid.size(), 0.0f);
+  Axpy(strength, centroid, &v);
+  Axpy(std::sqrt(std::max(0.0, 1.0 - strength * strength)), u, &v);
+  NormalizeInPlace(&v);
+  return v;
+}
+
+/// Draws a template index according to template weights.
+size_t DrawTemplate(const std::vector<PathTemplate>& templates, Rng* rng) {
+  double total = 0.0;
+  for (const auto& t : templates) total += t.weight;
+  double x = rng->UniformReal(0.0, total);
+  for (size_t i = 0; i < templates.size(); ++i) {
+    x -= templates[i].weight;
+    if (x <= 0.0) return i;
+  }
+  return templates.size() - 1;
+}
+
+}  // namespace
+
+std::vector<NodeId> GeneratedDataset::GoldIds(size_t intent_index,
+                                              size_t anchor_index) const {
+  KG_CHECK(intent_index < intents.size());
+  const GeneratedIntent& intent = intents[intent_index];
+  KG_CHECK(anchor_index < intent.gold.size());
+  std::vector<NodeId> out;
+  out.reserve(intent.gold[anchor_index].size());
+  for (const std::string& name : intent.gold[anchor_index]) {
+    NodeId u = graph->FindNode(name);
+    KG_CHECK(u != kInvalidNode);
+    out.push_back(u);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<GeneratedDataset>> GenerateDataset(
+    const DatasetSpec& spec) {
+  if (spec.groups.empty()) {
+    return Status::InvalidArgument("dataset spec needs >= 1 group");
+  }
+  if (spec.embedding_dim < 8) {
+    return Status::InvalidArgument("embedding dim must be >= 8");
+  }
+
+  auto ds = std::make_unique<GeneratedDataset>();
+  ds->spec = spec;
+  ds->graph = std::make_unique<KnowledgeGraph>();
+  KnowledgeGraph& g = *ds->graph;
+  Rng rng(spec.seed);
+
+  // ---- predicate semantic vectors ----
+  std::unordered_map<std::string, FloatVec> vectors;
+  for (const GroupSpec& group : spec.groups) {
+    for (const IntentSpec& intent : group.intents) {
+      FloatVec centroid = RandomUnitVec(spec.embedding_dim, &rng);
+      for (const PredicateSpec& p : intent.predicates) {
+        if (vectors.count(p.name)) {
+          return Status::InvalidArgument("duplicate predicate: " + p.name);
+        }
+        vectors.emplace(p.name,
+                        VectorWithStrength(centroid, p.strength, &rng));
+      }
+    }
+  }
+  std::vector<std::string> noise_preds;
+  for (size_t i = 0; i < spec.filler_predicates; ++i) {
+    std::string name = StrFormat("noise_p%zu", i);
+    vectors.emplace(name, RandomUnitVec(spec.embedding_dim, &rng));
+    noise_preds.push_back(std::move(name));
+  }
+
+  // ---- entities and schema instantiations ----
+  for (size_t gi = 0; gi < spec.groups.size(); ++gi) {
+    const GroupSpec& group = spec.groups[gi];
+    // Subject pool.
+    std::vector<std::string> subjects;
+    subjects.reserve(group.num_subjects);
+    for (size_t j = 0; j < group.num_subjects; ++j) {
+      std::string name = StrFormat("%s_%zu", group.subject_type.c_str(), j);
+      g.AddNode(name, group.subject_type);
+      subjects.push_back(std::move(name));
+    }
+
+    for (const IntentSpec& intent : group.intents) {
+      // Every intent predicate must exist in the KG vocabulary even when it
+      // never labels an edge (the query-only predicates of Figure 1).
+      for (const PredicateSpec& p : intent.predicates) {
+        g.InternPredicate(p.name);
+      }
+
+      GeneratedIntent gen;
+      gen.spec = intent;
+      gen.group_index = gi;
+      const size_t num_anchors = intent.anchor_names.empty()
+                                     ? intent.num_anchors
+                                     : intent.anchor_names.size();
+      gen.spec.num_anchors = num_anchors;
+      gen.gold.resize(num_anchors);
+      gen.gold_by_template.assign(
+          num_anchors,
+          std::vector<std::set<std::string>>(intent.templates.size()));
+
+      // Anchors.
+      for (size_t a = 0; a < num_anchors; ++a) {
+        std::string name =
+            intent.anchor_names.empty()
+                ? StrFormat("%s_anchor%zu", intent.name.c_str(), a)
+                : intent.anchor_names[a];
+        g.AddNode(name, intent.anchor_type);
+        gen.anchor_names.push_back(std::move(name));
+      }
+      // Intermediate pools per (template, anchor, hop level).
+      // mids[t][a][h] is a list of entity names.
+      std::vector<std::vector<std::vector<std::vector<std::string>>>> mids(
+          intent.templates.size());
+      for (size_t t = 0; t < intent.templates.size(); ++t) {
+        const PathTemplate& tmpl = intent.templates[t];
+        mids[t].resize(num_anchors);
+        for (size_t a = 0; a < num_anchors; ++a) {
+          mids[t][a].resize(tmpl.inter_types.size());
+          for (size_t h = 0; h < tmpl.inter_types.size(); ++h) {
+            for (size_t m = 0; m < intent.mids_per_anchor; ++m) {
+              std::string name = StrFormat("%s_t%zu_a%zu_h%zu_m%zu",
+                                           intent.name.c_str(), t, a, h, m);
+              g.AddNode(name, tmpl.inter_types[h]);
+              mids[t][a][h].push_back(std::move(name));
+            }
+          }
+        }
+      }
+
+      // Instantiate templates for participating subjects.
+      auto instantiate = [&](const std::string& subject, size_t t, size_t a) {
+        const PathTemplate& tmpl = intent.templates[t];
+        std::vector<std::string> nodes;
+        nodes.push_back(subject);
+        for (size_t h = 0; h + 1 < tmpl.Hops(); ++h) {
+          const auto& pool = mids[t][a][h];
+          nodes.push_back(pool[rng.UniformIndex(pool.size())]);
+        }
+        nodes.push_back(gen.anchor_names[a]);
+        for (size_t h = 0; h < tmpl.Hops(); ++h) {
+          NodeId from = g.FindNode(nodes[h]);
+          NodeId to = g.FindNode(nodes[h + 1]);
+          KG_CHECK(from != kInvalidNode && to != kInvalidNode);
+          // Mostly subject-to-anchor orientation, occasionally flipped;
+          // path matching ignores direction anyway (footnote 1).
+          if (rng.Bernoulli(0.25)) std::swap(from, to);
+          g.AddEdge(from, tmpl.predicates[h], to);
+        }
+        gen.gold_by_template[a][t].insert(subject);
+        if (tmpl.correct) gen.gold[a].insert(subject);
+      };
+
+      for (const std::string& subject : subjects) {
+        if (!rng.Bernoulli(group.participation)) continue;
+        // Skewed anchor popularity (Germany-style hubs).
+        size_t a = rng.Zipf(num_anchors, 0.9);
+        size_t t = DrawTemplate(intent.templates, &rng);
+        instantiate(subject, t, a);
+        if (rng.Bernoulli(group.extra_path_prob) &&
+            intent.templates.size() > 1) {
+          size_t t2 = DrawTemplate(intent.templates, &rng);
+          if (t2 != t) instantiate(subject, t2, a);
+        }
+      }
+      ds->intents.push_back(std::move(gen));
+    }
+  }
+
+  // ---- filler entities and heavy-tail noise edges ----
+  for (size_t i = 0; i < spec.filler_entities; ++i) {
+    g.AddNode(StrFormat("Filler_%zu", i), StrFormat("Misc%zu", i % 5));
+  }
+  if (spec.filler_edges > 0 && !noise_preds.empty()) {
+    const size_t n = g.NumNodes();
+    for (size_t i = 0; i < spec.filler_edges; ++i) {
+      NodeId a = static_cast<NodeId>(rng.Zipf(n, 0.6));
+      NodeId b = static_cast<NodeId>(rng.UniformIndex(n));
+      if (a == b) continue;
+      g.AddEdge(a, noise_preds[rng.UniformIndex(noise_preds.size())], b);
+    }
+  }
+
+  g.Finalize();
+
+  // ---- ground-truth predicate space, ordered by graph predicate ids ----
+  std::vector<FloatVec> ordered(g.NumPredicates());
+  std::vector<std::string> names(g.NumPredicates());
+  for (PredicateId p = 0; p < g.NumPredicates(); ++p) {
+    names[p] = std::string(g.PredicateName(p));
+    auto it = vectors.find(names[p]);
+    KG_CHECK(it != vectors.end());
+    ordered[p] = it->second;
+  }
+  ds->space = std::make_unique<PredicateSpace>(std::move(ordered),
+                                               std::move(names));
+
+  // ---- transformation library and alias catalog ----
+  auto add_aliases = [&](const std::string& canonical, bool is_type,
+                         auto* catalog) {
+    // Three aliases per label; each unregistered with the configured
+    // probability, but the first is always registered so clean queries can
+    // exercise synonym matching.
+    for (int v = 0; v < 3; ++v) {
+      std::string alias = StrFormat("%s_%s%d", v % 2 == 0 ? "Syn" : "Abbr",
+                                    canonical.c_str(), v);
+      bool registered = (v == 0) || !rng.Bernoulli(spec.unknown_alias_fraction);
+      if (registered) {
+        if (is_type) {
+          if (v % 2 == 0) {
+            ds->library.AddTypeSynonym(alias, canonical);
+          } else {
+            ds->library.AddTypeAbbreviation(alias, canonical);
+          }
+        } else {
+          if (v % 2 == 0) {
+            ds->library.AddNameSynonym(alias, canonical);
+          } else {
+            ds->library.AddNameAbbreviation(alias, canonical);
+          }
+        }
+      }
+      (*catalog)[canonical].emplace_back(std::move(alias), registered);
+    }
+  };
+  for (const GroupSpec& group : spec.groups) {
+    add_aliases(group.subject_type, true, &ds->type_aliases);
+    for (const IntentSpec& intent : group.intents) {
+      add_aliases(intent.anchor_type, true, &ds->type_aliases);
+    }
+  }
+  for (const GeneratedIntent& intent : ds->intents) {
+    for (const std::string& anchor : intent.anchor_names) {
+      add_aliases(anchor, false, &ds->name_aliases);
+    }
+  }
+
+  return ds;
+}
+
+namespace {
+
+/// Builds the standard intent shape used by the dataset profiles: one query
+/// predicate, five correct schemas (1..4 hops, incl. a "weak" 2-hop whose
+/// pss lands between 0.8 and 0.9 for the τ sweep of Table X), and three
+/// distractor schemas with low semantic strength.
+IntentSpec StandardIntent(const std::string& name,
+                          const std::string& anchor_type, size_t num_anchors,
+                          size_t mids_per_anchor) {
+  IntentSpec intent;
+  intent.name = name;
+  intent.anchor_type = anchor_type;
+  intent.num_anchors = num_anchors;
+  intent.mids_per_anchor = mids_per_anchor;
+  auto P = [&](const char* suffix, double strength) {
+    intent.predicates.push_back(
+        PredicateSpec{name + "_" + suffix, strength});
+    return intent.predicates.back().name;
+  };
+  const std::string q = P("q", 0.98);
+  intent.query_predicate = q;
+
+  // Predicates are deliberately reused across schemas (as real KG
+  // vocabularies do): the semantic family then has fewer than ten strong
+  // members, so a predicate's top-10 similar list reaches into the weak
+  // band — which is what makes the paper's edge-noise experiment bite.
+  const std::string direct = P("direct", 0.97);
+  const std::string p2a = P("p2a", 0.95), p2b = P("p2b", 0.93);
+  const std::string p3a = P("p3a", 0.94);
+  const std::string w2a = P("w2a", 0.87), w2b = P("w2b", 0.85);
+  const std::string d1 = P("d1", 0.60);
+  const std::string d2a = P("d2a", 0.55), d2b = P("d2b", 0.50);
+  const std::string d3a = P("d3a", 0.52), d3b = P("d3b", 0.48),
+                    d3c = P("d3c", 0.55);
+  const std::string r2a = P("r2a", 0.91), r2b = P("r2b", 0.90);
+  const std::string r1 = P("r1", 0.97);
+
+  const std::string mid_a = name + "_MidA";
+  const std::string mid_b = name + "_MidB";
+  const std::string mid_c = name + "_MidC";
+
+  // Correct schemas (gold). The query predicate labels a slice of the
+  // direct edges (like product in Q117), so predicate-exact baselines find
+  // exactly that slice: P = 1 at low recall (Table I shape). The bulk of
+  // the direct schema uses `direct` (assembly-like), whose matches rank
+  // interleaved with the non-gold r1 schema below.
+  intent.templates.push_back(PathTemplate{{q}, {}, true, 0.08});
+  intent.templates.push_back(PathTemplate{{direct}, {}, true, 0.22});
+  intent.templates.push_back(PathTemplate{{p2a, p2b}, {mid_a}, true, 0.20});
+  intent.templates.push_back(
+      PathTemplate{{p3a, p2b, p2a}, {mid_a, mid_b}, true, 0.14});
+  intent.templates.push_back(PathTemplate{{w2a, w2b}, {mid_c}, true, 0.08});
+  intent.templates.push_back(
+      PathTemplate{{p2a, p3a, p2b, direct}, {mid_a, mid_b, mid_c}, true,
+                   0.06});
+  // Distractor schemas (reachable, semantically wrong).
+  intent.templates.push_back(PathTemplate{{d1}, {}, false, 0.04});
+  intent.templates.push_back(PathTemplate{{d2a, d2b}, {mid_b}, false, 0.06});
+  intent.templates.push_back(
+      PathTemplate{{d3a, d3b, d3c}, {mid_c, mid_a}, false, 0.04});
+  // Reasonable-but-unvalidated schemas: semantically strong, outside the
+  // gold set — SGQ finds them, which keeps precision realistically below 1
+  // (the paper's schemas 5-7 phenomenon). The 1-hop one ranks interleaved
+  // with the direct gold schema, so the precision dip shows at every k.
+  intent.templates.push_back(PathTemplate{{r2a, r2b}, {mid_b}, false, 0.04});
+  intent.templates.push_back(PathTemplate{{r1}, {}, false, 0.04});
+  return intent;
+}
+
+}  // namespace
+
+DatasetSpec DbpediaLikeSpec(double scale, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "dbpedia-like";
+  spec.seed = seed;
+  spec.embedding_dim = 64;
+  spec.filler_entities = static_cast<size_t>(1500 * scale);
+  spec.filler_edges = static_cast<size_t>(6000 * scale);
+  spec.filler_predicates = 10;
+
+  GroupSpec autos;
+  autos.subject_type = "Automobile";
+  autos.num_subjects = static_cast<size_t>(900 * scale);
+  autos.participation = 0.9;
+  autos.extra_path_prob = 0.35;
+  autos.intents.push_back(StandardIntent("produced_in", "Country", 8, 16));
+  autos.intents.push_back(StandardIntent("engine_from", "Country", 8, 16));
+  autos.intents.push_back(StandardIntent("designed_by", "Studio", 6, 16));
+  spec.groups.push_back(std::move(autos));
+
+  GroupSpec films;
+  films.subject_type = "Film";
+  films.num_subjects = static_cast<size_t>(700 * scale);
+  films.participation = 0.85;
+  films.extra_path_prob = 0.3;
+  films.intents.push_back(StandardIntent("filmed_in", "Country", 8, 16));
+  films.intents.push_back(StandardIntent("scored_by", "Orchestra", 6, 16));
+  spec.groups.push_back(std::move(films));
+  return spec;
+}
+
+DatasetSpec FreebaseLikeSpec(double scale, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "freebase-like";
+  spec.seed = seed;
+  spec.embedding_dim = 64;
+  // Freebase is denser and broader: more groups, more noise.
+  spec.filler_entities = static_cast<size_t>(2500 * scale);
+  spec.filler_edges = static_cast<size_t>(12000 * scale);
+  spec.filler_predicates = 16;
+
+  const char* domains[3] = {"Athlete", "Company", "Song"};
+  const char* anchor_types[3] = {"Team", "Market", "Label"};
+  for (int d = 0; d < 3; ++d) {
+    GroupSpec group;
+    group.subject_type = domains[d];
+    group.num_subjects = static_cast<size_t>(650 * scale);
+    group.participation = 0.88;
+    group.extra_path_prob = 0.4;
+    group.intents.push_back(StandardIntent(
+        StrFormat("%s_rel_a", domains[d]), anchor_types[d], 10, 12));
+    group.intents.push_back(StandardIntent(
+        StrFormat("%s_rel_b", domains[d]), "Country", 8, 12));
+    spec.groups.push_back(std::move(group));
+  }
+  return spec;
+}
+
+DatasetSpec Yago2LikeSpec(double scale, uint64_t seed) {
+  DatasetSpec spec;
+  spec.name = "yago2-like";
+  spec.seed = seed;
+  spec.embedding_dim = 64;
+  // YAGO2 profile: larger subject pools (bigger gold sets, so recall@k is
+  // lower, matching Figure 14's band) and moderate noise.
+  spec.filler_entities = static_cast<size_t>(2000 * scale);
+  spec.filler_edges = static_cast<size_t>(9000 * scale);
+  spec.filler_predicates = 12;
+
+  GroupSpec people;
+  people.subject_type = "Scientist";
+  people.num_subjects = static_cast<size_t>(1600 * scale);
+  people.participation = 0.92;
+  people.extra_path_prob = 0.3;
+  people.intents.push_back(StandardIntent("works_in", "Field", 6, 12));
+  people.intents.push_back(StandardIntent("born_in", "Country", 8, 12));
+  spec.groups.push_back(std::move(people));
+
+  GroupSpec places;
+  places.subject_type = "City";
+  places.num_subjects = static_cast<size_t>(1200 * scale);
+  places.participation = 0.9;
+  places.extra_path_prob = 0.25;
+  places.intents.push_back(StandardIntent("located_in", "Region", 8, 12));
+  places.intents.push_back(StandardIntent("twinned_with", "Country", 8, 12));
+  spec.groups.push_back(std::move(places));
+  return spec;
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,147 @@
+// Schema-driven synthetic knowledge-graph generator.
+//
+// The paper evaluates on DBpedia, Freebase, and YAGO2 with QALD-4-style
+// workloads whose gold answers span several semantically equivalent n-hop
+// schemas per query intent (Figure 1). This generator reproduces exactly
+// that structure at laptop scale:
+//
+//  - Entities are grouped per "intent group": a pool of subject entities
+//    (e.g. automobiles) plus, per intent, anchor entities (e.g. countries)
+//    and intermediate entities (e.g. companies, cities).
+//  - Each intent owns several path templates between subjects and anchors:
+//    correct templates (the gold schemas, 1..4 hops) and distractor
+//    templates (structurally identical, semantically wrong — designer/
+//    nationality in the paper's example).
+//  - Predicate semantics are controlled: each intent's predicates carry a
+//    "strength" = cosine against the intent's centroid vector, so the
+//    ground-truth predicate space reproduces the similarity bands the paper
+//    reports (sim(product, assembly)=0.98, etc.). A TransE space can be
+//    trained on the same graph as a learned alternative.
+//  - Gold answers per (intent, anchor) are recorded during generation:
+//    subjects connected via >= 1 correct template, the union-over-schemas
+//    definition the paper uses for recall.
+#ifndef KGSEARCH_GEN_SYNTHETIC_KG_H_
+#define KGSEARCH_GEN_SYNTHETIC_KG_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "embedding/predicate_space.h"
+#include "kg/graph.h"
+#include "match/transformation_library.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// One predicate with controlled semantics.
+struct PredicateSpec {
+  std::string name;
+  /// Cosine of this predicate's vector against its intent centroid; the
+  /// query predicate has strength ~1, gold-schema predicates 0.82-0.99,
+  /// distractor predicates far lower.
+  double strength = 1.0;
+};
+
+/// One schema (path template) between a subject and an anchor.
+struct PathTemplate {
+  /// Predicates per hop, subject side first; size = hops.
+  std::vector<std::string> predicates;
+  /// Intermediate node types; size = hops - 1.
+  std::vector<std::string> inter_types;
+  /// Gold schema (true) vs. semantically wrong distractor (false).
+  bool correct = true;
+  /// Fraction of subject instantiations drawn through this template.
+  double weight = 1.0;
+
+  size_t Hops() const { return predicates.size(); }
+};
+
+/// One query intent: a family of semantically equivalent schemas.
+struct IntentSpec {
+  std::string name;              ///< e.g. "produced_in"
+  std::string query_predicate;   ///< predicate used on query edges
+  std::string anchor_type;       ///< type of the specific node (Country)
+  size_t num_anchors = 8;
+  /// Optional anchor entity names (e.g. "Germany"); when set, overrides the
+  /// generated names and num_anchors.
+  std::vector<std::string> anchor_names;
+  /// Pool size of intermediate entities per (template, anchor).
+  size_t mids_per_anchor = 3;
+  std::vector<PredicateSpec> predicates;  ///< all predicates incl. query's
+  std::vector<PathTemplate> templates;
+};
+
+/// One intent group: a subject pool shared by several intents, so that
+/// multi-edge queries (chain/star, Figure 3) can combine intents.
+struct GroupSpec {
+  std::string subject_type;  ///< e.g. "Automobile"
+  size_t num_subjects = 500;
+  /// Probability that a subject participates in a given intent at all.
+  double participation = 0.9;
+  /// Probability that a participating subject gets a second template.
+  double extra_path_prob = 0.3;
+  std::vector<IntentSpec> intents;
+};
+
+/// Whole-dataset parameters.
+struct DatasetSpec {
+  std::string name = "synthetic";
+  std::vector<GroupSpec> groups;
+  size_t embedding_dim = 64;
+  /// Random filler entities and edges (heavy-tail degree noise).
+  size_t filler_entities = 0;
+  size_t filler_edges = 0;
+  size_t filler_predicates = 8;
+  /// Fraction of generated aliases NOT registered in the transformation
+  /// library (these make node noise harmful, Section VII-E).
+  double unknown_alias_fraction = 0.55;
+  uint64_t seed = 42;
+};
+
+/// Gold-answer bookkeeping for one intent.
+struct GeneratedIntent {
+  IntentSpec spec;
+  size_t group_index = 0;
+  std::vector<std::string> anchor_names;
+  /// gold[a] = subject names connected to anchor a via >= 1 correct template.
+  std::vector<std::set<std::string>> gold;
+  /// gold_by_template[a][t] = subjects connected to anchor a via template t.
+  std::vector<std::vector<std::set<std::string>>> gold_by_template;
+};
+
+/// A fully generated dataset.
+struct GeneratedDataset {
+  std::unique_ptr<KnowledgeGraph> graph;
+  std::unique_ptr<PredicateSpace> space;  ///< ground-truth semantics
+  TransformationLibrary library;
+  std::vector<GeneratedIntent> intents;   ///< flattened over groups
+  DatasetSpec spec;
+
+  /// Registered + unregistered aliases per canonical label, for noise
+  /// injection: alias -> (canonical, registered?).
+  std::map<std::string, std::vector<std::pair<std::string, bool>>>
+      type_aliases;
+  std::map<std::string, std::vector<std::pair<std::string, bool>>>
+      name_aliases;
+
+  /// Resolves gold subject names to node ids (graph must be finalized).
+  std::vector<NodeId> GoldIds(size_t intent_index, size_t anchor_index) const;
+};
+
+/// Generates a dataset from a spec. Deterministic for a fixed seed.
+Result<std::unique_ptr<GeneratedDataset>> GenerateDataset(
+    const DatasetSpec& spec);
+
+/// Dataset profiles mirroring the paper's three corpora at laptop scale.
+/// `scale` multiplies subject-pool sizes (1.0 = default bench scale).
+DatasetSpec DbpediaLikeSpec(double scale = 1.0, uint64_t seed = 42);
+DatasetSpec FreebaseLikeSpec(double scale = 1.0, uint64_t seed = 43);
+DatasetSpec Yago2LikeSpec(double scale = 1.0, uint64_t seed = 44);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_GEN_SYNTHETIC_KG_H_

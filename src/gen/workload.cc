@@ -1,0 +1,355 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+namespace {
+
+Status CheckIntent(const GeneratedDataset& ds, size_t intent_index,
+                   size_t anchor_index) {
+  if (intent_index >= ds.intents.size()) {
+    return Status::OutOfRange("intent index out of range");
+  }
+  if (anchor_index >= ds.intents[intent_index].anchor_names.size()) {
+    return Status::OutOfRange("anchor index out of range");
+  }
+  return Status::OK();
+}
+
+std::vector<NodeId> NamesToSortedIds(const KnowledgeGraph& graph,
+                                     const std::set<std::string>& names) {
+  std::vector<NodeId> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) {
+    NodeId u = graph.FindNode(n);
+    KG_CHECK(u != kInvalidNode);
+    out.push_back(u);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::string& SubjectTypeOf(const GeneratedDataset& ds,
+                                 const GeneratedIntent& intent) {
+  return ds.spec.groups[intent.group_index].subject_type;
+}
+
+}  // namespace
+
+Result<QueryWithGold> MakeIntentQuery(const GeneratedDataset& ds,
+                                      size_t intent_index,
+                                      size_t anchor_index) {
+  KG_RETURN_NOT_OK(CheckIntent(ds, intent_index, anchor_index));
+  const GeneratedIntent& intent = ds.intents[intent_index];
+
+  QueryWithGold out;
+  int subject = out.query.AddTargetNode(SubjectTypeOf(ds, intent));
+  int anchor = out.query.AddSpecificNode(
+      intent.spec.anchor_type, intent.anchor_names[anchor_index]);
+  out.query.AddEdge(subject, anchor, intent.spec.query_predicate);
+  out.answer_node = subject;
+  out.gold = NamesToSortedIds(*ds.graph, intent.gold[anchor_index]);
+  out.description = StrFormat("simple:%s@%s", intent.spec.name.c_str(),
+                              intent.anchor_names[anchor_index].c_str());
+  return out;
+}
+
+Result<QueryWithGold> MakeChainQuery(const GeneratedDataset& ds,
+                                     size_t intent_index, size_t anchor_index,
+                                     size_t template_index) {
+  KG_RETURN_NOT_OK(CheckIntent(ds, intent_index, anchor_index));
+  const GeneratedIntent& intent = ds.intents[intent_index];
+  if (template_index >= intent.spec.templates.size()) {
+    return Status::OutOfRange("template index out of range");
+  }
+  const PathTemplate& tmpl = intent.spec.templates[template_index];
+  if (tmpl.Hops() < 2 || !tmpl.correct) {
+    return Status::InvalidArgument(
+        "chain queries need a correct template with >= 2 hops");
+  }
+  const std::string& mid_type = tmpl.inter_types[0];
+
+  QueryWithGold out;
+  int subject = out.query.AddTargetNode(SubjectTypeOf(ds, intent));
+  int mid = out.query.AddTargetNode(mid_type);
+  int anchor = out.query.AddSpecificNode(
+      intent.spec.anchor_type, intent.anchor_names[anchor_index]);
+  out.query.AddEdge(subject, mid, tmpl.predicates[0]);
+  // The second query edge summarizes the rest of the template; use its
+  // second predicate (the engine's edge-to-path mapping covers the rest).
+  out.query.AddEdge(mid, anchor, tmpl.predicates[1]);
+  out.answer_node = subject;
+
+  // Gold: subjects connected via any correct template whose intermediate
+  // types include mid_type (a 1-hop direct edge cannot satisfy two query
+  // edges, so the direct schema is excluded by construction).
+  std::set<std::string> gold_names;
+  for (size_t t = 0; t < intent.spec.templates.size(); ++t) {
+    const PathTemplate& cand = intent.spec.templates[t];
+    if (!cand.correct) continue;
+    if (std::find(cand.inter_types.begin(), cand.inter_types.end(),
+                  mid_type) == cand.inter_types.end()) {
+      continue;
+    }
+    gold_names.insert(intent.gold_by_template[anchor_index][t].begin(),
+                      intent.gold_by_template[anchor_index][t].end());
+  }
+  out.gold = NamesToSortedIds(*ds.graph, gold_names);
+  out.description = StrFormat("chain:%s@%s via %s", intent.spec.name.c_str(),
+                              intent.anchor_names[anchor_index].c_str(),
+                              mid_type.c_str());
+  return out;
+}
+
+Result<QueryWithGold> MakeDeepChainQuery(
+    const GeneratedDataset& ds, size_t intent_index, size_t anchor_index,
+    size_t template_index,
+    const std::vector<std::pair<size_t, size_t>>& simple_legs) {
+  KG_RETURN_NOT_OK(CheckIntent(ds, intent_index, anchor_index));
+  const GeneratedIntent& intent = ds.intents[intent_index];
+  if (template_index >= intent.spec.templates.size()) {
+    return Status::OutOfRange("template index out of range");
+  }
+  const PathTemplate& tmpl = intent.spec.templates[template_index];
+  if (tmpl.Hops() < 2 || !tmpl.correct) {
+    return Status::InvalidArgument(
+        "deep chain queries need a correct template with >= 2 hops");
+  }
+  for (const auto& [ii, ai] : simple_legs) {
+    KG_RETURN_NOT_OK(CheckIntent(ds, ii, ai));
+    if (ds.intents[ii].group_index != intent.group_index) {
+      return Status::InvalidArgument(
+          "simple legs must share the chain's subject pool (group)");
+    }
+  }
+
+  QueryWithGold out;
+  int subject = out.query.AddTargetNode(SubjectTypeOf(ds, intent));
+  out.answer_node = subject;
+  int prev = subject;
+  for (const std::string& mid_type : tmpl.inter_types) {
+    int mid = out.query.AddTargetNode(mid_type);
+    out.query.AddEdge(prev, mid,
+                      tmpl.predicates[static_cast<size_t>(
+                          out.query.NumEdges())]);
+    prev = mid;
+  }
+  int anchor = out.query.AddSpecificNode(
+      intent.spec.anchor_type, intent.anchor_names[anchor_index]);
+  out.query.AddEdge(prev, anchor, tmpl.predicates.back());
+
+  // Gold along the chain: correct templates whose intermediate-type
+  // sequence starts with the exposed sequence (the surplus hops are
+  // absorbed by the final query edge's n̂ budget).
+  std::set<std::string> gold_names;
+  for (size_t t = 0; t < intent.spec.templates.size(); ++t) {
+    const PathTemplate& cand = intent.spec.templates[t];
+    if (!cand.correct) continue;
+    if (cand.inter_types.size() < tmpl.inter_types.size()) continue;
+    if (!std::equal(tmpl.inter_types.begin(), tmpl.inter_types.end(),
+                    cand.inter_types.begin())) {
+      continue;
+    }
+    gold_names.insert(intent.gold_by_template[anchor_index][t].begin(),
+                      intent.gold_by_template[anchor_index][t].end());
+  }
+  std::vector<NodeId> gold = NamesToSortedIds(*ds.graph, gold_names);
+
+  // Simple legs on the subject; gold intersects.
+  out.description = StrFormat("deepchain:%s(%zu-hop)", intent.spec.name.c_str(),
+                              tmpl.Hops());
+  for (const auto& [ii, ai] : simple_legs) {
+    const GeneratedIntent& leg_intent = ds.intents[ii];
+    int leg_anchor = out.query.AddSpecificNode(
+        leg_intent.spec.anchor_type, leg_intent.anchor_names[ai]);
+    out.query.AddEdge(subject, leg_anchor, leg_intent.spec.query_predicate);
+    std::vector<NodeId> leg =
+        NamesToSortedIds(*ds.graph, leg_intent.gold[ai]);
+    std::vector<NodeId> merged;
+    std::set_intersection(gold.begin(), gold.end(), leg.begin(), leg.end(),
+                          std::back_inserter(merged));
+    gold = std::move(merged);
+    out.description += "+" + leg_intent.spec.name;
+  }
+  out.gold = std::move(gold);
+  return out;
+}
+
+Result<QueryWithGold> MakeStarQuery(
+    const GeneratedDataset& ds,
+    const std::vector<std::pair<size_t, size_t>>& intent_anchor_pairs) {
+  if (intent_anchor_pairs.size() < 2) {
+    return Status::InvalidArgument("star queries need >= 2 legs");
+  }
+  size_t group = SIZE_MAX;
+  for (const auto& [ii, ai] : intent_anchor_pairs) {
+    KG_RETURN_NOT_OK(CheckIntent(ds, ii, ai));
+    if (group == SIZE_MAX) group = ds.intents[ii].group_index;
+    if (ds.intents[ii].group_index != group) {
+      return Status::InvalidArgument(
+          "star query intents must share one subject pool (group)");
+    }
+  }
+
+  QueryWithGold out;
+  const GeneratedIntent& first = ds.intents[intent_anchor_pairs[0].first];
+  int subject = out.query.AddTargetNode(SubjectTypeOf(ds, first));
+  out.answer_node = subject;
+
+  std::vector<NodeId> gold;
+  bool first_leg = true;
+  std::string desc = "star:";
+  for (const auto& [ii, ai] : intent_anchor_pairs) {
+    const GeneratedIntent& intent = ds.intents[ii];
+    int anchor = out.query.AddSpecificNode(intent.spec.anchor_type,
+                                           intent.anchor_names[ai]);
+    out.query.AddEdge(subject, anchor, intent.spec.query_predicate);
+    std::vector<NodeId> leg = NamesToSortedIds(*ds.graph, intent.gold[ai]);
+    if (first_leg) {
+      gold = std::move(leg);
+      first_leg = false;
+    } else {
+      std::vector<NodeId> merged;
+      std::set_intersection(gold.begin(), gold.end(), leg.begin(), leg.end(),
+                            std::back_inserter(merged));
+      gold = std::move(merged);
+    }
+    desc += intent.spec.name + "+";
+  }
+  out.gold = std::move(gold);
+  out.description = desc;
+  return out;
+}
+
+Result<QueryWithGold> MakeComplexQuery(
+    const GeneratedDataset& ds, size_t chain_intent, size_t chain_template,
+    const std::vector<std::pair<size_t, size_t>>& simple_intent_anchor_pairs,
+    size_t chain_anchor) {
+  Result<QueryWithGold> chain =
+      MakeChainQuery(ds, chain_intent, chain_anchor, chain_template);
+  if (!chain.ok()) return chain.status();
+  if (simple_intent_anchor_pairs.empty()) {
+    return Status::InvalidArgument("complex query needs >= 1 simple leg");
+  }
+  for (const auto& [ii, ai] : simple_intent_anchor_pairs) {
+    KG_RETURN_NOT_OK(CheckIntent(ds, ii, ai));
+    if (ds.intents[ii].group_index != ds.intents[chain_intent].group_index) {
+      return Status::InvalidArgument(
+          "complex query legs must share one subject pool (group)");
+    }
+  }
+
+  // Rebuild as one graph: subject + chain leg + simple legs.
+  QueryWithGold out;
+  const GeneratedIntent& ci = ds.intents[chain_intent];
+  const PathTemplate& tmpl = ci.spec.templates[chain_template];
+  int subject = out.query.AddTargetNode(SubjectTypeOf(ds, ci));
+  out.answer_node = subject;
+  int mid = out.query.AddTargetNode(tmpl.inter_types[0]);
+  int canchor = out.query.AddSpecificNode(ci.spec.anchor_type,
+                                          ci.anchor_names[chain_anchor]);
+  out.query.AddEdge(subject, mid, tmpl.predicates[0]);
+  out.query.AddEdge(mid, canchor, tmpl.predicates[1]);
+  std::string desc = "complex:" + ci.spec.name;
+  for (const auto& [ii, ai] : simple_intent_anchor_pairs) {
+    const GeneratedIntent& intent = ds.intents[ii];
+    int anchor = out.query.AddSpecificNode(intent.spec.anchor_type,
+                                           intent.anchor_names[ai]);
+    out.query.AddEdge(subject, anchor, intent.spec.query_predicate);
+    desc += "+" + intent.spec.name;
+  }
+
+  // Gold: intersection of the chain gold and the simple-leg golds.
+  std::vector<NodeId> gold = chain.ValueOrDie().gold;
+  for (const auto& [ii, ai] : simple_intent_anchor_pairs) {
+    std::vector<NodeId> leg =
+        NamesToSortedIds(*ds.graph, ds.intents[ii].gold[ai]);
+    std::vector<NodeId> merged;
+    std::set_intersection(gold.begin(), gold.end(), leg.begin(), leg.end(),
+                          std::back_inserter(merged));
+    gold = std::move(merged);
+  }
+  out.gold = std::move(gold);
+  out.description = desc;
+  return out;
+}
+
+void AddNodeNoise(const GeneratedDataset& ds, Rng* rng, QueryGraph* query) {
+  // Collect noisable positions: specific names and target types that have an
+  // alias catalog entry.
+  struct Slot {
+    int node;
+    bool is_name;
+  };
+  std::vector<Slot> slots;
+  for (size_t i = 0; i < query->NumNodes(); ++i) {
+    const QueryNode& n = query->node(static_cast<int>(i));
+    if (n.is_specific() && ds.name_aliases.count(n.name)) {
+      slots.push_back(Slot{static_cast<int>(i), true});
+    }
+    if (ds.type_aliases.count(n.type)) {
+      slots.push_back(Slot{static_cast<int>(i), false});
+    }
+  }
+  if (slots.empty()) return;
+  const Slot slot = slots[rng->UniformIndex(slots.size())];
+
+  // Rebuild the query with the replaced label (QueryGraph is append-only).
+  QueryGraph noisy;
+  for (size_t i = 0; i < query->NumNodes(); ++i) {
+    QueryNode n = query->node(static_cast<int>(i));
+    if (static_cast<int>(i) == slot.node) {
+      if (slot.is_name) {
+        const auto& aliases = ds.name_aliases.at(n.name);
+        n.name = aliases[rng->UniformIndex(aliases.size())].first;
+      } else {
+        const auto& aliases = ds.type_aliases.at(n.type);
+        n.type = aliases[rng->UniformIndex(aliases.size())].first;
+      }
+    }
+    if (n.is_specific()) {
+      noisy.AddSpecificNode(n.type, n.name);
+    } else {
+      noisy.AddTargetNode(n.type);
+    }
+  }
+  for (size_t i = 0; i < query->NumEdges(); ++i) {
+    const QueryEdge& e = query->edge(static_cast<int>(i));
+    noisy.AddEdge(e.from, e.to, e.predicate);
+  }
+  *query = std::move(noisy);
+}
+
+void AddEdgeNoise(const GeneratedDataset& ds, Rng* rng, QueryGraph* query) {
+  if (query->NumEdges() == 0) return;
+  const size_t edge_index = rng->UniformIndex(query->NumEdges());
+  const QueryEdge& victim = query->edge(static_cast<int>(edge_index));
+  PredicateId p = ds.graph->FindPredicate(victim.predicate);
+  if (p == kInvalidSymbol) return;
+  std::vector<SimilarPredicate> top = ds.space->TopSimilar(p, 10);
+  if (top.empty()) return;
+  const std::string replacement(
+      ds.graph->PredicateName(top[rng->UniformIndex(top.size())].predicate));
+
+  QueryGraph noisy;
+  for (size_t i = 0; i < query->NumNodes(); ++i) {
+    const QueryNode& n = query->node(static_cast<int>(i));
+    if (n.is_specific()) {
+      noisy.AddSpecificNode(n.type, n.name);
+    } else {
+      noisy.AddTargetNode(n.type);
+    }
+  }
+  for (size_t i = 0; i < query->NumEdges(); ++i) {
+    QueryEdge e = query->edge(static_cast<int>(i));
+    if (i == edge_index) e.predicate = replacement;
+    noisy.AddEdge(e.from, e.to, e.predicate);
+  }
+  *query = std::move(noisy);
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,79 @@
+// Query-workload construction over generated datasets: simple / chain /
+// star / complex query graphs with gold answers (QALD-style), plus the node
+// and edge noise injection of Section VII-E.
+#ifndef KGSEARCH_GEN_WORKLOAD_H_
+#define KGSEARCH_GEN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query_graph.h"
+#include "gen/synthetic_kg.h"
+
+namespace kgsearch {
+
+/// A query graph plus its gold answer set.
+struct QueryWithGold {
+  QueryGraph query;
+  /// Index of the query node whose matches are the answers (the pivot-type
+  /// target node, e.g. the automobile in Q117).
+  int answer_node = 0;
+  std::vector<NodeId> gold;  ///< sorted gold answer node ids
+  std::string description;
+};
+
+/// Simple query (1 sub-query): ?subject --query_pred-- anchor.
+Result<QueryWithGold> MakeIntentQuery(const GeneratedDataset& ds,
+                                      size_t intent_index,
+                                      size_t anchor_index);
+
+/// Chain query (1 sub-query of 2 edges): ?subject --p0-- ?mid --p1-- anchor,
+/// exposing `template_index`'s first intermediate type as a target node.
+/// Gold = subjects reachable via any correct template passing through that
+/// intermediate type.
+Result<QueryWithGold> MakeChainQuery(const GeneratedDataset& ds,
+                                     size_t intent_index, size_t anchor_index,
+                                     size_t template_index);
+
+/// Deep chain query: exposes EVERY intermediate type of `template_index` as
+/// a target node, i.e. ?subject --p0-- ?m1 --p1-- ... --pn-- anchor, plus
+/// optional simple legs on the subject. With h >= 3 hops, the subject and
+/// every intermediate node are feasible pivots with distinct decomposition
+/// costs — the workload for the pivot-selection experiments (Tables V-VI).
+/// Gold: subjects reachable via any correct template whose intermediate
+/// type sequence starts with the exposed one, intersected with the simple
+/// legs' gold sets.
+Result<QueryWithGold> MakeDeepChainQuery(
+    const GeneratedDataset& ds, size_t intent_index, size_t anchor_index,
+    size_t template_index,
+    const std::vector<std::pair<size_t, size_t>>& simple_legs = {});
+
+/// Star query (m sub-queries): one ?subject joined to m intent anchors.
+/// All intents must share the subject pool (same group). Gold = the
+/// intersection of the per-intent gold sets.
+Result<QueryWithGold> MakeStarQuery(
+    const GeneratedDataset& ds,
+    const std::vector<std::pair<size_t, size_t>>& intent_anchor_pairs);
+
+/// Complex query: star of `simple_legs` one-edge legs plus one two-edge
+/// chain leg (3 sub-queries total when simple_legs = 2); the query used by
+/// the pivot-selection experiments (Tables V-VI).
+Result<QueryWithGold> MakeComplexQuery(const GeneratedDataset& ds,
+                                       size_t chain_intent,
+                                       size_t chain_template,
+                                       const std::vector<std::pair<size_t, size_t>>&
+                                           simple_intent_anchor_pairs,
+                                       size_t chain_anchor);
+
+/// Node noise (Section VII-E): replaces the type of a random target node or
+/// the name of a random specific node with a randomly selected alias, which
+/// may or may not be registered in the transformation library.
+void AddNodeNoise(const GeneratedDataset& ds, Rng* rng, QueryGraph* query);
+
+/// Edge noise: replaces a random query edge's predicate with one of its
+/// top-10 most similar predicates in the predicate semantic space.
+void AddEdgeNoise(const GeneratedDataset& ds, Rng* rng, QueryGraph* query);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_GEN_WORKLOAD_H_

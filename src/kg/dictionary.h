@@ -1,0 +1,88 @@
+// String interning dictionary mapping strings <-> dense uint32 ids.
+#ifndef KGSEARCH_KG_DICTIONARY_H_
+#define KGSEARCH_KG_DICTIONARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// Dense id for an interned string; scoped per Dictionary instance.
+using SymbolId = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
+
+/// Bidirectional string <-> id mapping with stable ids.
+///
+/// Ids are assigned densely in insertion order, so they double as indexes
+/// into side arrays (e.g. predicate embedding vectors).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // The lookup map stores views into heap-allocated strings owned via
+  // unique_ptr, so moving is safe (views stay valid); copying is not
+  // implemented.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id of `s`, interning it if unseen.
+  SymbolId Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    SymbolId id = static_cast<SymbolId>(strings_.size());
+    strings_.push_back(std::make_unique<std::string>(s));
+    index_.emplace(std::string_view(*strings_.back()), id);
+    return id;
+  }
+
+  /// Returns the id of `s` or kInvalidSymbol when not interned.
+  SymbolId Lookup(std::string_view s) const {
+    auto it = index_.find(s);
+    return it == index_.end() ? kInvalidSymbol : it->second;
+  }
+
+  /// True when `s` has been interned.
+  bool Contains(std::string_view s) const {
+    return index_.find(s) != index_.end();
+  }
+
+  /// Returns the string for a valid id.
+  std::string_view Get(SymbolId id) const {
+    KG_CHECK(id < strings_.size());
+    return *strings_[id];
+  }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  // unique_ptr keeps string storage stable so index_ keys stay valid.
+  std::vector<std::unique_ptr<std::string>> strings_;
+  std::unordered_map<std::string_view, SymbolId, Hash, Eq> index_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_KG_DICTIONARY_H_

@@ -1,0 +1,98 @@
+#include "kg/graph.h"
+
+#include <algorithm>
+
+namespace kgsearch {
+
+namespace {
+uint64_t PackPair(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+NodeId KnowledgeGraph::AddNode(std::string_view name, std::string_view type) {
+  KG_CHECK(!finalized_);
+  SymbolId existing = names_.Lookup(name);
+  if (existing != kInvalidSymbol) return existing;
+  NodeId id = names_.Intern(name);
+  KG_CHECK(id == node_types_.size());
+  node_types_.push_back(types_.Intern(type));
+  return id;
+}
+
+void KnowledgeGraph::AddEdge(NodeId head, std::string_view predicate,
+                             NodeId tail) {
+  KG_CHECK(!finalized_);
+  KG_CHECK(head < node_types_.size() && tail < node_types_.size());
+  PredicateId p = predicates_.Intern(predicate);
+  uint64_t key = PackPair(head, tail);
+  auto& preds = edge_index_[key];
+  if (std::find(preds.begin(), preds.end(), p) != preds.end()) return;
+  preds.push_back(p);
+  triples_.push_back(Triple{head, p, tail});
+}
+
+void KnowledgeGraph::AddTriple(std::string_view head_name,
+                               std::string_view predicate,
+                               std::string_view tail_name) {
+  NodeId h = AddNode(head_name, "Thing");
+  NodeId t = AddNode(tail_name, "Thing");
+  AddEdge(h, predicate, t);
+}
+
+void KnowledgeGraph::Finalize() {
+  KG_CHECK(!finalized_);
+  const size_t n = node_types_.size();
+
+  // Undirected CSR: each stored triple contributes one forward entry at the
+  // head and one reverse entry at the tail.
+  std::vector<uint64_t> degree(n + 1, 0);
+  for (const Triple& t : triples_) {
+    ++degree[t.head];
+    ++degree[t.tail];
+  }
+  adj_offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) adj_offsets_[i + 1] = adj_offsets_[i] + degree[i];
+  adj_.resize(adj_offsets_[n]);
+  std::vector<uint64_t> cursor(adj_offsets_.begin(), adj_offsets_.end() - 1);
+  for (const Triple& t : triples_) {
+    adj_[cursor[t.head]++] = AdjEntry{t.tail, t.predicate, true};
+    adj_[cursor[t.tail]++] = AdjEntry{t.head, t.predicate, false};
+  }
+  // Deterministic neighbor order: by neighbor id, then predicate.
+  for (size_t u = 0; u < n; ++u) {
+    std::sort(adj_.begin() + static_cast<int64_t>(adj_offsets_[u]),
+              adj_.begin() + static_cast<int64_t>(adj_offsets_[u + 1]),
+              [](const AdjEntry& a, const AdjEntry& b) {
+                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+                if (a.predicate != b.predicate) return a.predicate < b.predicate;
+                return a.forward < b.forward;
+              });
+  }
+
+  // Type index.
+  const size_t num_types = types_.size();
+  std::vector<uint64_t> type_count(num_types + 1, 0);
+  for (TypeId t : node_types_) ++type_count[t];
+  type_offsets_.assign(num_types + 1, 0);
+  for (size_t i = 0; i < num_types; ++i) {
+    type_offsets_[i + 1] = type_offsets_[i] + type_count[i];
+  }
+  type_members_.resize(n);
+  std::vector<uint64_t> tcursor(type_offsets_.begin(), type_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    type_members_[tcursor[node_types_[u]]++] = u;
+  }
+
+  finalized_ = true;
+}
+
+bool KnowledgeGraph::HasTriple(NodeId head, PredicateId predicate,
+                               NodeId tail) const {
+  auto it = edge_index_.find(PackPair(head, tail));
+  if (it == edge_index_.end()) return false;
+  const auto& preds = it->second;
+  return std::find(preds.begin(), preds.end(), predicate) != preds.end();
+}
+
+}  // namespace kgsearch

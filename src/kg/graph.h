@@ -1,0 +1,170 @@
+// In-memory knowledge graph store (Definition 1).
+//
+// Nodes carry a unique name and a type; directed edges carry a predicate.
+// After Finalize(), an undirected CSR adjacency index supports the path
+// searches of Section V (paths ignore edge directionality, paper footnote 1),
+// while the stored direction is preserved for exact-match baselines and for
+// TransE training, which needs (head, relation, tail) orientation.
+#ifndef KGSEARCH_KG_GRAPH_H_
+#define KGSEARCH_KG_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/dictionary.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+using NodeId = uint32_t;
+using PredicateId = uint32_t;
+using TypeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// A stored directed edge (head --predicate--> tail).
+struct Triple {
+  NodeId head;
+  PredicateId predicate;
+  NodeId tail;
+
+  bool operator==(const Triple&) const = default;
+};
+
+/// One entry in a node's undirected adjacency list.
+struct AdjEntry {
+  NodeId neighbor;
+  PredicateId predicate;
+  /// True when the stored edge is (node -> neighbor); false for reverse.
+  bool forward;
+};
+
+/// Immutable-after-finalize knowledge graph with CSR adjacency and
+/// type/name indexes.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+  KnowledgeGraph(const KnowledgeGraph&) = delete;
+  KnowledgeGraph& operator=(const KnowledgeGraph&) = delete;
+  KnowledgeGraph(KnowledgeGraph&&) = default;
+  KnowledgeGraph& operator=(KnowledgeGraph&&) = default;
+
+  // ----- construction -----
+
+  /// Adds (or returns the existing) node with the given unique name.
+  /// The type of an existing node is not changed.
+  NodeId AddNode(std::string_view name, std::string_view type);
+
+  /// Adds a directed edge. Duplicate (head, predicate, tail) triples are
+  /// stored once. Must be called before Finalize().
+  void AddEdge(NodeId head, std::string_view predicate, NodeId tail);
+
+  /// Convenience: adds nodes by name (type "Thing" if new) and the edge.
+  void AddTriple(std::string_view head_name, std::string_view predicate,
+                 std::string_view tail_name);
+
+  /// Builds CSR adjacency and secondary indexes. Must be called exactly once,
+  /// after which the graph is immutable.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ----- basic accessors -----
+
+  size_t NumNodes() const { return node_types_.size(); }
+  size_t NumEdges() const { return triples_.size(); }
+  size_t NumPredicates() const { return predicates_.size(); }
+  size_t NumTypes() const { return types_.size(); }
+
+  std::string_view NodeName(NodeId u) const { return names_.Get(u); }
+  TypeId NodeType(NodeId u) const {
+    KG_CHECK(u < node_types_.size());
+    return node_types_[u];
+  }
+  std::string_view NodeTypeName(NodeId u) const {
+    return types_.Get(NodeType(u));
+  }
+  std::string_view PredicateName(PredicateId p) const {
+    return predicates_.Get(p);
+  }
+  std::string_view TypeName(TypeId t) const { return types_.Get(t); }
+
+  /// Node lookup by unique name; kInvalidNode when absent.
+  NodeId FindNode(std::string_view name) const {
+    SymbolId id = names_.Lookup(name);
+    return id == kInvalidSymbol ? kInvalidNode : id;
+  }
+  /// Predicate id by name; kInvalidSymbol when absent.
+  PredicateId FindPredicate(std::string_view name) const {
+    return predicates_.Lookup(name);
+  }
+  /// Type id by name; kInvalidSymbol when absent.
+  TypeId FindType(std::string_view name) const { return types_.Lookup(name); }
+
+  /// All stored directed triples, in insertion order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  // ----- finalized-only indexes -----
+
+  /// Undirected adjacency of u (both edge directions). Requires Finalize().
+  std::span<const AdjEntry> Neighbors(NodeId u) const {
+    KG_CHECK(finalized_ && u < node_types_.size());
+    return std::span<const AdjEntry>(adj_.data() + adj_offsets_[u],
+                                     adj_offsets_[u + 1] - adj_offsets_[u]);
+  }
+
+  /// Undirected degree of u. Requires Finalize().
+  size_t Degree(NodeId u) const { return Neighbors(u).size(); }
+
+  /// All nodes of a given type. Requires Finalize().
+  std::span<const NodeId> NodesOfType(TypeId t) const {
+    KG_CHECK(finalized_);
+    if (t >= type_offsets_.size() - 1) return {};
+    return std::span<const NodeId>(
+        type_members_.data() + type_offsets_[t],
+        type_offsets_[t + 1] - type_offsets_[t]);
+  }
+
+  /// True when a directed edge (head, predicate, tail) exists.
+  /// Requires Finalize().
+  bool HasTriple(NodeId head, PredicateId predicate, NodeId tail) const;
+
+  /// Average undirected degree. Requires Finalize().
+  double AverageDegree() const {
+    return NumNodes() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(NumEdges()) /
+                     static_cast<double>(NumNodes());
+  }
+
+  /// Interns a type name (usable before Finalize, e.g. by generators).
+  TypeId InternType(std::string_view type) { return types_.Intern(type); }
+  /// Interns a predicate name.
+  PredicateId InternPredicate(std::string_view predicate) {
+    return predicates_.Intern(predicate);
+  }
+
+ private:
+  Dictionary names_;       // node id == name symbol id
+  Dictionary types_;
+  Dictionary predicates_;
+  std::vector<TypeId> node_types_;
+  std::vector<Triple> triples_;
+
+  bool finalized_ = false;
+  std::vector<uint64_t> adj_offsets_;  // size NumNodes()+1
+  std::vector<AdjEntry> adj_;
+  std::vector<uint64_t> type_offsets_;  // size NumTypes()+1
+  std::vector<NodeId> type_members_;
+  // Directed triple existence check: key packs (head, tail), value lists
+  // predicates. Sized ~NumEdges.
+  std::unordered_map<uint64_t, std::vector<PredicateId>> edge_index_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_KG_GRAPH_H_

@@ -1,0 +1,292 @@
+#include "kg/triple_io.h"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+namespace {
+
+/// Extracts the local part of an IRI given its expected prefix, or the full
+/// IRI when the prefix does not match.
+std::string_view LocalPart(std::string_view iri, std::string_view prefix) {
+  if (StartsWith(iri, prefix)) return iri.substr(prefix.size());
+  return iri;
+}
+
+/// Scans an IRI token `<...>` starting at *i; advances *i past it.
+Status ScanIri(std::string_view line, size_t* i, std::string* out, int lineno) {
+  if (*i >= line.size() || line[*i] != '<') {
+    return Status::ParseError(
+        StrFormat("line %d: expected '<' at column %zu", lineno, *i));
+  }
+  size_t end = line.find('>', *i + 1);
+  if (end == std::string_view::npos) {
+    return Status::ParseError(StrFormat("line %d: unterminated IRI", lineno));
+  }
+  out->assign(line.substr(*i + 1, end - *i - 1));
+  *i = end + 1;
+  return Status::OK();
+}
+
+/// Scans a literal token `"..."` with escapes (optionally followed by a
+/// language tag or datatype, which are accepted and dropped).
+Status ScanLiteral(std::string_view line, size_t* i, std::string* out,
+                   int lineno) {
+  KG_CHECK(*i < line.size() && line[*i] == '"');
+  out->clear();
+  size_t j = *i + 1;
+  while (j < line.size()) {
+    char c = line[j];
+    if (c == '\\') {
+      if (j + 1 >= line.size()) {
+        return Status::ParseError(
+            StrFormat("line %d: dangling escape in literal", lineno));
+      }
+      char esc = line[j + 1];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        default:
+          return Status::ParseError(
+              StrFormat("line %d: unsupported escape '\\%c'", lineno, esc));
+      }
+      j += 2;
+    } else if (c == '"') {
+      *i = j + 1;
+      // Skip optional @lang or ^^<datatype>.
+      if (*i < line.size() && line[*i] == '@') {
+        while (*i < line.size() && line[*i] != ' ' && line[*i] != '\t') ++*i;
+      } else if (*i + 1 < line.size() && line[*i] == '^' &&
+                 line[*i + 1] == '^') {
+        *i += 2;
+        std::string ignored;
+        return ScanIri(line, i, &ignored, lineno);
+      }
+      return Status::OK();
+    } else {
+      *out += c;
+      ++j;
+    }
+  }
+  return Status::ParseError(
+      StrFormat("line %d: unterminated literal", lineno));
+}
+
+void SkipWs(std::string_view line, size_t* i) {
+  while (*i < line.size() && (line[*i] == ' ' || line[*i] == '\t')) ++*i;
+}
+
+}  // namespace
+
+Status NTriplesParser::ParseLine(std::string_view line,
+                                 NTriplesStatement* out, bool* is_blank) {
+  *is_blank = false;
+  std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') {
+    *is_blank = true;
+    return Status::OK();
+  }
+  size_t i = 0;
+  SkipWs(trimmed, &i);
+  KG_RETURN_NOT_OK(ScanIri(trimmed, &i, &out->subject, line_));
+  SkipWs(trimmed, &i);
+  KG_RETURN_NOT_OK(ScanIri(trimmed, &i, &out->predicate, line_));
+  SkipWs(trimmed, &i);
+  if (i < trimmed.size() && trimmed[i] == '"') {
+    out->object_is_literal = true;
+    KG_RETURN_NOT_OK(ScanLiteral(trimmed, &i, &out->object, line_));
+  } else {
+    out->object_is_literal = false;
+    KG_RETURN_NOT_OK(ScanIri(trimmed, &i, &out->object, line_));
+  }
+  SkipWs(trimmed, &i);
+  if (i >= trimmed.size() || trimmed[i] != '.') {
+    return Status::ParseError(
+        StrFormat("line %d: expected terminating '.'", line_));
+  }
+  return Status::OK();
+}
+
+Status NTriplesParser::Next(NTriplesStatement* out, bool* done) {
+  while (pos_ < text_.size()) {
+    size_t eol = text_.find('\n', pos_);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text_.substr(pos_)
+                                : text_.substr(pos_, eol - pos_);
+    pos_ = (eol == std::string_view::npos) ? text_.size() : eol + 1;
+    ++line_;
+    bool is_blank = false;
+    KG_RETURN_NOT_OK(ParseLine(line, out, &is_blank));
+    if (!is_blank) {
+      *done = false;
+      return Status::OK();
+    }
+  }
+  *done = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<KnowledgeGraph>> ParseNTriples(std::string_view text) {
+  auto graph = std::make_unique<KnowledgeGraph>();
+  NTriplesParser parser(text);
+
+  // Two passes over statements collected in memory: rdf:type statements may
+  // appear after an entity's first use, and node types are fixed at AddNode.
+  std::vector<NTriplesStatement> statements;
+  NTriplesStatement st;
+  bool done = false;
+  while (true) {
+    Status s = parser.Next(&st, &done);
+    if (!s.ok()) return s;
+    if (done) break;
+    statements.push_back(st);
+  }
+
+  std::unordered_map<std::string, std::string> types;
+  for (const auto& stmt : statements) {
+    if (stmt.predicate == kRdfType && !stmt.object_is_literal) {
+      types[std::string(LocalPart(stmt.subject, kEntityPrefix))] =
+          std::string(LocalPart(stmt.object, kTypePrefix));
+    }
+  }
+  auto type_of = [&](const std::string& name) -> std::string_view {
+    auto it = types.find(name);
+    return it == types.end() ? std::string_view("Thing")
+                             : std::string_view(it->second);
+  };
+
+  for (const auto& stmt : statements) {
+    if (stmt.predicate == kRdfType || stmt.predicate == kRdfsLabel) continue;
+    if (stmt.object_is_literal) {
+      return Status::ParseError(
+          "literal objects are only allowed for rdfs:label");
+    }
+    std::string head(LocalPart(stmt.subject, kEntityPrefix));
+    std::string tail(LocalPart(stmt.object, kEntityPrefix));
+    std::string pred(LocalPart(stmt.predicate, kPredicatePrefix));
+    NodeId h = graph->AddNode(head, type_of(head));
+    NodeId t = graph->AddNode(tail, type_of(tail));
+    graph->AddEdge(h, pred, t);
+  }
+  // Entities that only appear in rdf:type statements still become nodes.
+  for (const auto& [name, type] : types) {
+    graph->AddNode(name, type);
+  }
+  graph->Finalize();
+  return graph;
+}
+
+std::string WriteNTriples(const KnowledgeGraph& graph) {
+  std::string out;
+  out.reserve(graph.NumEdges() * 80 + graph.NumNodes() * 60);
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    out += '<';
+    out += kEntityPrefix;
+    out += graph.NodeName(u);
+    out += "> <";
+    out += kRdfType;
+    out += "> <";
+    out += kTypePrefix;
+    out += graph.NodeTypeName(u);
+    out += "> .\n";
+  }
+  for (const Triple& t : graph.triples()) {
+    out += '<';
+    out += kEntityPrefix;
+    out += graph.NodeName(t.head);
+    out += "> <";
+    out += kPredicatePrefix;
+    out += graph.PredicateName(t.predicate);
+    out += "> <";
+    out += kEntityPrefix;
+    out += graph.NodeName(t.tail);
+    out += "> .\n";
+  }
+  return out;
+}
+
+Result<std::unique_ptr<KnowledgeGraph>> ParseTsvTriples(
+    std::string_view text) {
+  auto graph = std::make_unique<KnowledgeGraph>();
+  std::vector<std::array<std::string, 3>> edges;
+  std::unordered_map<std::string, std::string> types;
+  int lineno = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() : eol + 1;
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    if (fields.size() != 3) {
+      return Status::ParseError(
+          StrFormat("line %d: expected 3 tab-separated fields", lineno));
+    }
+    if (fields[1] == "a") {
+      types[fields[0]] = fields[2];
+    } else {
+      edges.push_back({fields[0], fields[1], fields[2]});
+    }
+  }
+  auto type_of = [&](const std::string& name) -> std::string_view {
+    auto it = types.find(name);
+    return it == types.end() ? std::string_view("Thing")
+                             : std::string_view(it->second);
+  };
+  for (const auto& e : edges) {
+    NodeId h = graph->AddNode(e[0], type_of(e[0]));
+    NodeId t = graph->AddNode(e[2], type_of(e[2]));
+    graph->AddEdge(h, e[1], t);
+  }
+  for (const auto& [name, type] : types) graph->AddNode(name, type);
+  graph->Finalize();
+  return graph;
+}
+
+std::string WriteTsvTriples(const KnowledgeGraph& graph) {
+  std::string out;
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    out += graph.NodeName(u);
+    out += "\ta\t";
+    out += graph.NodeTypeName(u);
+    out += '\n';
+  }
+  for (const Triple& t : graph.triples()) {
+    out += graph.NodeName(t.head);
+    out += '\t';
+    out += graph.PredicateName(t.predicate);
+    out += '\t';
+    out += graph.NodeName(t.tail);
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,86 @@
+// Hand-rolled RDF I/O: N-Triples subset and a TSV triple format.
+//
+// N-Triples lines look like
+//   <http://kg/e/Audi_TT> <http://kg/p/assembly> <http://kg/e/Germany> .
+//   <http://kg/e/Audi_TT> <rdf:type> <http://kg/t/Automobile> .
+//   <http://kg/e/Audi_TT> <rdfs:label> "Audi TT" .
+// Entity/type/predicate IRIs use the kg/e/, kg/t/, kg/p/ prefixes; rdf:type
+// assigns the node type, rdfs:label an optional display label (our node name
+// is the IRI local part, which is unique).
+//
+// The TSV format is one triple per line: head<TAB>predicate<TAB>tail, with
+// node types declared by lines: name<TAB>a<TAB>Type.
+#ifndef KGSEARCH_KG_TRIPLE_IO_H_
+#define KGSEARCH_KG_TRIPLE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "kg/graph.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// IRI prefixes used by the writer and recognized by the parser.
+inline constexpr std::string_view kEntityPrefix = "http://kg/e/";
+inline constexpr std::string_view kTypePrefix = "http://kg/t/";
+inline constexpr std::string_view kPredicatePrefix = "http://kg/p/";
+inline constexpr std::string_view kRdfType = "rdf:type";
+inline constexpr std::string_view kRdfsLabel = "rdfs:label";
+
+/// One parsed N-Triples statement.
+struct NTriplesStatement {
+  std::string subject;    // IRI (full)
+  std::string predicate;  // IRI (full)
+  std::string object;     // IRI or literal value (unescaped)
+  bool object_is_literal = false;
+};
+
+/// Streaming N-Triples parser over in-memory text.
+///
+/// Supports the subset needed for knowledge graphs: IRIs in angle brackets,
+/// plain and language-tagged string literals with \" \\ \n \t escapes,
+/// comments (#...) and blank lines. Reports the line number on errors.
+class NTriplesParser {
+ public:
+  explicit NTriplesParser(std::string_view text) : text_(text) {}
+
+  /// Parses the next statement into *out. Returns OK and sets *done=true at
+  /// end of input; ParseError on malformed lines.
+  Status Next(NTriplesStatement* out, bool* done);
+
+  int line_number() const { return line_; }
+
+ private:
+  Status ParseLine(std::string_view line, NTriplesStatement* out,
+                   bool* is_blank);
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 0;
+};
+
+/// Parses a full N-Triples document into a KnowledgeGraph.
+///
+/// Nodes are named by the IRI local part (after kEntityPrefix); types default
+/// to "Thing" until an rdf:type statement is seen. The graph is finalized.
+Result<std::unique_ptr<KnowledgeGraph>> ParseNTriples(std::string_view text);
+
+/// Serializes a graph to N-Triples (types via rdf:type, names as IRIs).
+std::string WriteNTriples(const KnowledgeGraph& graph);
+
+/// Parses the TSV triple format (see file comment) into a finalized graph.
+Result<std::unique_ptr<KnowledgeGraph>> ParseTsvTriples(std::string_view text);
+
+/// Serializes a graph to the TSV triple format.
+std::string WriteTsvTriples(const KnowledgeGraph& graph);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, replacing existing content.
+Status WriteStringToFile(const std::string& path, std::string_view content);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_KG_TRIPLE_IO_H_

@@ -1,0 +1,67 @@
+// The node-match relation φ (Definition 3), implemented over a knowledge
+// graph and a transformation library.
+#ifndef KGSEARCH_MATCH_NODE_MATCHER_H_
+#define KGSEARCH_MATCH_NODE_MATCHER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "kg/graph.h"
+#include "match/transformation_library.h"
+
+namespace kgsearch {
+
+/// Resolves query node labels to knowledge-graph node candidates.
+///
+/// Specific nodes (name known) resolve by name; target nodes (type known)
+/// resolve by type. Both go through the transformation library's identical /
+/// synonym / abbreviation records.
+class NodeMatcher {
+ public:
+  NodeMatcher(const KnowledgeGraph* graph, const TransformationLibrary* library)
+      : graph_(graph), library_(library) {
+    KG_CHECK(graph != nullptr && library != nullptr);
+  }
+
+  /// φ for a specific node: KG nodes whose (unique) name resolves from
+  /// `query_name`. Empty when nothing matches.
+  std::vector<NodeId> MatchByName(std::string_view query_name) const {
+    std::vector<NodeId> out;
+    for (const Resolution& r : library_->ResolveName(query_name)) {
+      NodeId u = graph_->FindNode(r.canonical);
+      if (u != kInvalidNode) out.push_back(u);
+    }
+    return out;
+  }
+
+  /// Resolves a query type label to KG TypeIds. Empty when nothing matches.
+  std::vector<TypeId> MatchTypes(std::string_view query_type) const {
+    std::vector<TypeId> out;
+    for (const Resolution& r : library_->ResolveType(query_type)) {
+      TypeId t = graph_->FindType(r.canonical);
+      if (t != kInvalidSymbol) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// φ for a target node: all KG nodes whose type resolves from `query_type`.
+  std::vector<NodeId> MatchByType(std::string_view query_type) const {
+    std::vector<NodeId> out;
+    for (TypeId t : MatchTypes(query_type)) {
+      auto members = graph_->NodesOfType(t);
+      out.insert(out.end(), members.begin(), members.end());
+    }
+    return out;
+  }
+
+  const KnowledgeGraph* graph() const { return graph_; }
+  const TransformationLibrary* library() const { return library_; }
+
+ private:
+  const KnowledgeGraph* graph_;
+  const TransformationLibrary* library_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_MATCH_NODE_MATCHER_H_

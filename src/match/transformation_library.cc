@@ -1,0 +1,107 @@
+#include "match/transformation_library.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+void TransformationLibrary::AddRecord(RecordMap* map, std::string_view alias,
+                                      std::string_view canonical,
+                                      MatchKind kind) {
+  auto& records = (*map)[ToLower(alias)];
+  for (const Record& r : records) {
+    if (r.canonical == canonical) return;  // duplicate record
+  }
+  records.push_back(Record{std::string(canonical), kind});
+}
+
+std::vector<Resolution> TransformationLibrary::Resolve(
+    const RecordMap& map, std::string_view query) {
+  std::vector<Resolution> out;
+  out.push_back(Resolution{std::string(query), MatchKind::kIdentical});
+  auto it = map.find(ToLower(query));
+  if (it != map.end()) {
+    for (const Record& r : it->second) {
+      if (r.canonical == query) continue;  // identical already listed
+      out.push_back(Resolution{r.canonical, r.kind});
+    }
+  }
+  return out;
+}
+
+std::string TransformationLibrary::Serialize() const {
+  std::string out;
+  auto emit = [&out](const RecordMap& map, const char* scope) {
+    // Sort aliases for deterministic output.
+    std::vector<std::string> aliases;
+    aliases.reserve(map.size());
+    for (const auto& [alias, _] : map) aliases.push_back(alias);
+    std::sort(aliases.begin(), aliases.end());
+    for (const auto& alias : aliases) {
+      for (const Record& r : map.at(alias)) {
+        out += (r.kind == MatchKind::kSynonym) ? "synonym" : "abbreviation";
+        out += '\t';
+        out += scope;
+        out += '\t';
+        out += alias;
+        out += '\t';
+        out += r.canonical;
+        out += '\n';
+      }
+    }
+  };
+  emit(type_records_, "type");
+  emit(name_records_, "name");
+  return out;
+}
+
+Result<TransformationLibrary> TransformationLibrary::Deserialize(
+    std::string_view text) {
+  TransformationLibrary lib;
+  int lineno = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = (eol == std::string_view::npos)
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() : eol + 1;
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> f = Split(trimmed, '\t');
+    if (f.size() != 4) {
+      return Status::ParseError(
+          StrFormat("line %d: expected 4 fields", lineno));
+    }
+    MatchKind kind;
+    if (f[0] == "synonym") {
+      kind = MatchKind::kSynonym;
+    } else if (f[0] == "abbreviation") {
+      kind = MatchKind::kAbbreviation;
+    } else {
+      return Status::ParseError(StrFormat("line %d: bad kind '%s'", lineno,
+                                          f[0].c_str()));
+    }
+    if (f[1] == "type") {
+      if (kind == MatchKind::kSynonym) {
+        lib.AddTypeSynonym(f[2], f[3]);
+      } else {
+        lib.AddTypeAbbreviation(f[2], f[3]);
+      }
+    } else if (f[1] == "name") {
+      if (kind == MatchKind::kSynonym) {
+        lib.AddNameSynonym(f[2], f[3]);
+      } else {
+        lib.AddNameAbbreviation(f[2], f[3]);
+      }
+    } else {
+      return Status::ParseError(StrFormat("line %d: bad scope '%s'", lineno,
+                                          f[1].c_str()));
+    }
+  }
+  return lib;
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,112 @@
+// Synonym/abbreviation transformation library for node matching
+// (Definition 3; Table III in the paper).
+//
+// The paper builds this from BabelNet; we expose the same interface over
+// records supplied by the dataset generator or loaded from a TSV file.
+#ifndef KGSEARCH_MATCH_TRANSFORMATION_LIBRARY_H_
+#define KGSEARCH_MATCH_TRANSFORMATION_LIBRARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// How a query label matched a knowledge-graph label (Definition 3).
+enum class MatchKind {
+  kNone = 0,
+  kIdentical,
+  kSynonym,
+  kAbbreviation,
+};
+
+inline const char* MatchKindName(MatchKind k) {
+  switch (k) {
+    case MatchKind::kNone: return "none";
+    case MatchKind::kIdentical: return "identical";
+    case MatchKind::kSynonym: return "synonym";
+    case MatchKind::kAbbreviation: return "abbreviation";
+  }
+  return "?";
+}
+
+/// A resolved label: the canonical KG label plus how it was reached.
+struct Resolution {
+  std::string canonical;
+  MatchKind kind = MatchKind::kNone;
+};
+
+/// Maps query-side labels (types and names) to canonical KG labels via
+/// identical / synonym / abbreviation records. Lookups are case-sensitive
+/// on canonical labels and case-insensitive on aliases (BabelNet-style).
+class TransformationLibrary {
+ public:
+  TransformationLibrary() = default;
+
+  /// Registers `alias` as a synonym of canonical type `canonical`.
+  void AddTypeSynonym(std::string_view alias, std::string_view canonical) {
+    AddRecord(&type_records_, alias, canonical, MatchKind::kSynonym);
+  }
+  /// Registers `alias` as an abbreviation of canonical type `canonical`.
+  void AddTypeAbbreviation(std::string_view alias,
+                           std::string_view canonical) {
+    AddRecord(&type_records_, alias, canonical, MatchKind::kAbbreviation);
+  }
+  /// Registers `alias` as a synonym of canonical entity name `canonical`.
+  void AddNameSynonym(std::string_view alias, std::string_view canonical) {
+    AddRecord(&name_records_, alias, canonical, MatchKind::kSynonym);
+  }
+  /// Registers `alias` as an abbreviation of canonical entity name.
+  void AddNameAbbreviation(std::string_view alias,
+                           std::string_view canonical) {
+    AddRecord(&name_records_, alias, canonical, MatchKind::kAbbreviation);
+  }
+
+  /// Resolves a query type label to canonical KG type labels.
+  /// The identical mapping is always included first.
+  std::vector<Resolution> ResolveType(std::string_view query_type) const {
+    return Resolve(type_records_, query_type);
+  }
+
+  /// Resolves a query entity name to canonical KG entity names.
+  std::vector<Resolution> ResolveName(std::string_view query_name) const {
+    return Resolve(name_records_, query_name);
+  }
+
+  size_t NumTypeRecords() const { return CountRecords(type_records_); }
+  size_t NumNameRecords() const { return CountRecords(name_records_); }
+
+  /// Serializes to TSV: kind<TAB>scope<TAB>alias<TAB>canonical per line,
+  /// where kind is "synonym"/"abbreviation" and scope is "type"/"name".
+  std::string Serialize() const;
+
+  /// Parses Serialize() output.
+  static Result<TransformationLibrary> Deserialize(std::string_view text);
+
+ private:
+  struct Record {
+    std::string canonical;
+    MatchKind kind;
+  };
+  using RecordMap = std::unordered_map<std::string, std::vector<Record>>;
+
+  static void AddRecord(RecordMap* map, std::string_view alias,
+                        std::string_view canonical, MatchKind kind);
+  static std::vector<Resolution> Resolve(const RecordMap& map,
+                                         std::string_view query);
+  static size_t CountRecords(const RecordMap& map) {
+    size_t n = 0;
+    for (const auto& [_, v] : map) n += v.size();
+    return n;
+  }
+
+  RecordMap type_records_;
+  RecordMap name_records_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_MATCH_TRANSFORMATION_LIBRARY_H_

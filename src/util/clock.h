@@ -1,0 +1,69 @@
+// Clock abstraction so time-bounded search (Section VI) is testable with a
+// deterministic manual clock.
+#ifndef KGSEARCH_UTIL_CLOCK_H_
+#define KGSEARCH_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace kgsearch {
+
+/// Monotonic clock interface reporting microseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current monotonic time in microseconds.
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Shared process-wide instance.
+  static const SystemClock* Default() {
+    static SystemClock clock;
+    return &clock;
+  }
+};
+
+/// Deterministic clock advanced explicitly by tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override { return now_.load(); }
+
+  void AdvanceMicros(int64_t delta) { now_.fetch_add(delta); }
+  void SetMicros(int64_t t) { now_.store(t); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+/// Stopwatch over an injectable clock.
+class StopWatch {
+ public:
+  explicit StopWatch(const Clock* clock = SystemClock::Default())
+      : clock_(clock), start_(clock_->NowMicros()) {}
+
+  void Restart() { start_ = clock_->NowMicros(); }
+  int64_t ElapsedMicros() const { return clock_->NowMicros() - start_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  const Clock* clock_;
+  int64_t start_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_UTIL_CLOCK_H_

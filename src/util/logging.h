@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr.
+#ifndef KGSEARCH_UTIL_LOGGING_H_
+#define KGSEARCH_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace kgsearch {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define KG_LOG(level)                                                       \
+  ::kgsearch::internal::LogMessage(::kgsearch::LogLevel::k##level, __FILE__, \
+                                   __LINE__)
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_UTIL_LOGGING_H_

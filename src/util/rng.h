@@ -1,0 +1,115 @@
+// Seeded random number generator with convenience samplers.
+//
+// All stochastic components (generators, TransE negative sampling, noise
+// injection, simulated annotators) take an explicit Rng so experiments are
+// reproducible from a single seed.
+#ifndef KGSEARCH_UTIL_RNG_H_
+#define KGSEARCH_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// Thin wrapper over std::mt19937_64 with common sampling helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    KG_CHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    KG_CHECK(n > 0);
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Gaussian sample.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  /// Zipf-like sample over [0, n): heavily skewed toward low ranks, with
+  /// larger alpha meaning stronger skew. Uses the continuous power-law
+  /// inverse CDF (exact for the continuous analogue, close enough for
+  /// workload generation) so sampling is O(1) regardless of n.
+  size_t Zipf(size_t n, double alpha) {
+    KG_CHECK(n > 0);
+    const double u = UniformReal();
+    double x;
+    if (alpha >= 0.999) {
+      // P(X <= x) ~ log(x+1): log-uniform, the alpha -> 1 limit.
+      x = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
+    } else {
+      // P(X <= x) ~ x^(1-alpha)  =>  X = n * u^(1/(1-alpha)).
+      x = static_cast<double>(n) * std::pow(u, 1.0 / (1.0 - alpha));
+    }
+    size_t k = static_cast<size_t>(x);
+    return k >= n ? n - 1 : k;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in arbitrary order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    KG_CHECK(k <= n);
+    if (k * 4 >= n) {
+      // Dense case: shuffle a full index vector and take a prefix.
+      std::vector<size_t> all(n);
+      for (size_t i = 0; i < n; ++i) all[i] = i;
+      Shuffle(&all);
+      all.resize(k);
+      return all;
+    }
+    // Sparse case: rejection against the (small) result set.
+    std::vector<size_t> result;
+    result.reserve(k);
+    while (result.size() < k) {
+      size_t candidate = UniformIndex(n);
+      bool dup = false;
+      for (size_t c : result) {
+        if (c == candidate) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) result.push_back(candidate);
+    }
+    return result;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_UTIL_RNG_H_

@@ -1,0 +1,176 @@
+// Status / Result error-handling primitives (Arrow-style).
+//
+// Recoverable errors cross API boundaries as Status or Result<T> values, never
+// as exceptions. Internal invariant violations use KG_CHECK and abort.
+#ifndef KGSEARCH_UTIL_STATUS_H_
+#define KGSEARCH_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace kgsearch {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIOError,
+  kParseError,
+  kInternal,
+  kTimedOut,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a StatusCode.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+/// Outcome of an operation: OK or an error code plus message.
+///
+/// Cheap to copy in the OK case (no allocation); error messages allocate.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message" (or "OK").
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this holds an error.
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when holding an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define KG_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::kgsearch::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Aborts with a message when `cond` is false. For invariants, not user input.
+#define KG_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "KG_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string helpers shared across parsers and reporters.
+#ifndef KGSEARCH_UTIL_STRING_UTIL_H_
+#define KGSEARCH_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgsearch {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view separator);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True when `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_UTIL_STRING_UTIL_H_

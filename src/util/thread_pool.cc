@@ -1,0 +1,64 @@
+#include "util/thread_pool.h"
+
+#include "util/status.h"
+
+namespace kgsearch {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  KG_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> fut = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KG_CHECK(!shutting_down_);
+    tasks_.push(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void RunParallel(std::vector<std::function<void()>> tasks,
+                 size_t num_threads) {
+  if (tasks.empty()) return;
+  if (num_threads <= 1 || tasks.size() == 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, tasks.size()));
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (auto& t : tasks) futures.push_back(pool.Submit(std::move(t)));
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used to run one A* semantic search per sub-query
+// graph concurrently (Section V remark: "multithreaded manner").
+#ifndef KGSEARCH_UTIL_THREAD_POOL_H_
+#define KGSEARCH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kgsearch {
+
+/// Simple FIFO thread pool. Tasks may not block on other pool tasks.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the returned future resolves when it finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutting_down_ = false;
+};
+
+/// Runs `tasks` to completion, using `num_threads` workers (or inline when
+/// num_threads <= 1). Convenience for fork-join parallelism.
+void RunParallel(std::vector<std::function<void()>> tasks, size_t num_threads);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,119 @@
+#include "baselines/exact_match.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "gen/car_domain.h"
+
+namespace kgsearch {
+namespace {
+
+class ExactMatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = MakeCarDomainDataset(150, 117);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    dataset_ = std::move(result).ValueOrDie().release();
+    context_ = MethodContext{dataset_->graph.get(), dataset_->space.get(),
+                             &dataset_->library};
+    gold_ = dataset_->GoldIds(kCarProducedIntent, kCarGermanyAnchor);
+    std::sort(gold_.begin(), gold_.end());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static GeneratedDataset* dataset_;
+  static MethodContext context_;
+  static std::vector<NodeId> gold_;
+};
+
+GeneratedDataset* ExactMatchTest::dataset_ = nullptr;
+MethodContext ExactMatchTest::context_;
+std::vector<NodeId> ExactMatchTest::gold_;
+
+TEST_F(ExactMatchTest, GStoreFailsNodeMismatchVariants) {
+  auto gstore = MakeGStore(context_);
+  // G1Q: type <Car> unresolvable without the library.
+  auto g1 = gstore->QueryTopK(MakeQ117Variant(1), 0, 100);
+  ASSERT_FALSE(g1.ok());
+  EXPECT_EQ(g1.status().code(), StatusCode::kNotFound);
+  // G2Q: name GER unresolvable.
+  EXPECT_FALSE(gstore->QueryTopK(MakeQ117Variant(2), 0, 100).ok());
+  // G3Q: predicate product labels no edges.
+  EXPECT_FALSE(gstore->QueryTopK(MakeQ117Variant(3), 0, 100).ok());
+}
+
+TEST_F(ExactMatchTest, GStorePerfectPrecisionLowRecallOnG4) {
+  auto gstore = MakeGStore(context_);
+  auto result = gstore->QueryTopK(MakeQ117Variant(4), 0, gold_.size());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Prf prf = ComputePrf(result.ValueOrDie(), gold_);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_GT(prf.recall, 0.1);
+  EXPECT_LT(prf.recall, 0.8);  // only the direct-assembly slice
+}
+
+TEST_F(ExactMatchTest, SlqHandlesAllVariants) {
+  auto slq = MakeSlq(context_);
+  for (int variant = 1; variant <= 4; ++variant) {
+    auto result =
+        slq->QueryTopK(MakeQ117Variant(variant), 0, gold_.size());
+    ASSERT_TRUE(result.ok())
+        << "variant " << variant << ": " << result.status().ToString();
+    Prf prf = ComputePrf(result.ValueOrDie(), gold_);
+    EXPECT_DOUBLE_EQ(prf.precision, 1.0) << "variant " << variant;
+    EXPECT_GT(prf.recall, 0.1) << "variant " << variant;
+    EXPECT_LT(prf.recall, 0.8) << "variant " << variant;
+  }
+}
+
+TEST_F(ExactMatchTest, QgaFailsTypeSynonymButHandlesNames) {
+  auto qga = MakeQga(context_);
+  // G1Q uses a type synonym -> QGA cannot resolve it (Table I).
+  EXPECT_FALSE(qga->QueryTopK(MakeQ117Variant(1), 0, 100).ok());
+  // G2Q (abbreviation on a name) and G3Q/G4Q work.
+  for (int variant = 2; variant <= 4; ++variant) {
+    auto result = qga->QueryTopK(MakeQ117Variant(variant), 0, gold_.size());
+    ASSERT_TRUE(result.ok()) << "variant " << variant;
+    Prf prf = ComputePrf(result.ValueOrDie(), gold_);
+    EXPECT_DOUBLE_EQ(prf.precision, 1.0) << "variant " << variant;
+  }
+}
+
+TEST_F(ExactMatchTest, PredicateMappingRedirectsToClosestRealPredicate) {
+  // SLQ on G3Q (product has no edges) must behave like G4Q (assembly).
+  auto slq = MakeSlq(context_);
+  auto g3 = slq->QueryTopK(MakeQ117Variant(3), 0, gold_.size());
+  auto g4 = slq->QueryTopK(MakeQ117Variant(4), 0, gold_.size());
+  ASSERT_TRUE(g3.ok() && g4.ok());
+  EXPECT_EQ(g3.ValueOrDie(), g4.ValueOrDie());
+}
+
+TEST_F(ExactMatchTest, RespectsK) {
+  auto slq = MakeSlq(context_);
+  auto result = slq->QueryTopK(MakeQ117Variant(4), 0, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.ValueOrDie().size(), 3u);
+}
+
+TEST_F(ExactMatchTest, MultiLegQueryIntersects) {
+  // ?car assembly Germany AND ?car assembly Italy: only cars assembled in
+  // both countries (typically none or few).
+  QueryGraph q;
+  int car = q.AddTargetNode("Automobile");
+  q.AddEdge(car, q.AddSpecificNode("Country", "Germany"), "assembly");
+  q.AddEdge(car, q.AddSpecificNode("Country", "Italy"), "assembly");
+  auto slq = MakeSlq(context_);
+  auto both = slq->QueryTopK(q, car, 1000);
+  ASSERT_TRUE(both.ok());
+  auto single = slq->QueryTopK(MakeQ117Variant(4), 0, 1000);
+  ASSERT_TRUE(single.ok());
+  EXPECT_LE(both.ValueOrDie().size(), single.ValueOrDie().size());
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,121 @@
+#include "baselines/s4.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "gen/car_domain.h"
+#include "util/rng.h"
+
+namespace kgsearch {
+namespace {
+
+class S4Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = MakeCarDomainDataset(150, 117);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    dataset_ = std::move(result).ValueOrDie().release();
+    context_ = MethodContext{dataset_->graph.get(), dataset_->space.get(),
+                             &dataset_->library};
+    gold_ = dataset_->GoldIds(kCarProducedIntent, kCarGermanyAnchor);
+    std::sort(gold_.begin(), gold_.end());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  /// Prior knowledge: a fraction of gold (car, Germany) pairs.
+  static std::vector<std::pair<NodeId, NodeId>> PriorPairs(double fraction) {
+    NodeId germany = dataset_->graph->FindNode("Germany");
+    std::vector<std::pair<NodeId, NodeId>> out;
+    size_t take = static_cast<size_t>(
+        static_cast<double>(gold_.size()) * fraction);
+    for (size_t i = 0; i < take; ++i) out.emplace_back(gold_[i], germany);
+    return out;
+  }
+
+  static GeneratedDataset* dataset_;
+  static MethodContext context_;
+  static std::vector<NodeId> gold_;
+};
+
+GeneratedDataset* S4Test::dataset_ = nullptr;
+MethodContext S4Test::context_;
+std::vector<NodeId> S4Test::gold_;
+
+TEST_F(S4Test, MiningRecoversPlantedPatterns) {
+  auto patterns = MineS4Patterns(*dataset_->graph, PriorPairs(0.6), 2, 2);
+  ASSERT_FALSE(patterns.empty());
+  // The direct assembly edge must be among the strongest patterns.
+  PredicateId assembly = dataset_->graph->FindPredicate("assembly");
+  bool found_direct = false;
+  for (const S4Pattern& p : patterns) {
+    if (p.predicates == std::vector<PredicateId>{assembly}) {
+      found_direct = true;
+    }
+    EXPECT_GE(p.support, 2u);
+  }
+  EXPECT_TRUE(found_direct);
+  // Sorted by support descending.
+  for (size_t i = 1; i < patterns.size(); ++i) {
+    EXPECT_GE(patterns[i - 1].support, patterns[i].support);
+  }
+}
+
+TEST_F(S4Test, MinSupportFiltersRarePatterns) {
+  auto loose = MineS4Patterns(*dataset_->graph, PriorPairs(0.5), 2, 1);
+  auto strict = MineS4Patterns(*dataset_->graph, PriorPairs(0.5), 2, 10);
+  EXPECT_GE(loose.size(), strict.size());
+}
+
+TEST_F(S4Test, QueryAppliesMinedPatterns) {
+  std::map<std::string, std::vector<S4Pattern>> patterns;
+  patterns["assembly"] =
+      MineS4Patterns(*dataset_->graph, PriorPairs(0.6), 2, 2);
+  S4Method s4(context_, std::move(patterns));
+  auto result = s4.QueryTopK(MakeQ117Variant(4), 0, gold_.size());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Prf prf = ComputePrf(result.ValueOrDie(), gold_);
+  EXPECT_GT(prf.recall, 0.3);
+  EXPECT_GT(prf.precision, 0.3);
+}
+
+TEST_F(S4Test, AccuracyDependsOnPriorKnowledgeCoverage) {
+  // The paper's Section I point: S4 is sensitive to prior knowledge.
+  auto run = [&](double fraction) {
+    std::map<std::string, std::vector<S4Pattern>> patterns;
+    patterns["assembly"] =
+        MineS4Patterns(*dataset_->graph, PriorPairs(fraction), 2, 2);
+    S4Method s4(context_, std::move(patterns));
+    auto result = s4.QueryTopK(MakeQ117Variant(4), 0, gold_.size());
+    if (!result.ok()) return 0.0;
+    return ComputePrf(result.ValueOrDie(), gold_).recall;
+  };
+  const double rich = run(0.8);
+  const double poor = run(0.05);
+  EXPECT_GE(rich, poor);
+  EXPECT_GT(rich, 0.3);
+}
+
+TEST_F(S4Test, NoPatternsMeansNotFound) {
+  S4Method s4(context_, {});
+  auto result = s4.QueryTopK(MakeQ117Variant(4), 0, 10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(S4Test, NoNodeSimilaritySupport) {
+  std::map<std::string, std::vector<S4Pattern>> patterns;
+  patterns["assembly"] =
+      MineS4Patterns(*dataset_->graph, PriorPairs(0.5), 2, 2);
+  S4Method s4(context_, std::move(patterns));
+  // G1Q (Car) and G2Q (GER) fail: S4 has exact labels only (Table II).
+  EXPECT_FALSE(s4.QueryTopK(MakeQ117Variant(1), 0, 10).ok());
+  EXPECT_FALSE(s4.QueryTopK(MakeQ117Variant(2), 0, 10).ok());
+}
+
+}  // namespace
+}  // namespace kgsearch

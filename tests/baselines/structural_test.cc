@@ -1,0 +1,103 @@
+#include "baselines/structural.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "gen/car_domain.h"
+
+namespace kgsearch {
+namespace {
+
+class StructuralTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = MakeCarDomainDataset(150, 117);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    dataset_ = std::move(result).ValueOrDie().release();
+    context_ = MethodContext{dataset_->graph.get(), dataset_->space.get(),
+                             &dataset_->library};
+    gold_ = dataset_->GoldIds(kCarProducedIntent, kCarGermanyAnchor);
+    std::sort(gold_.begin(), gold_.end());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static GeneratedDataset* dataset_;
+  static MethodContext context_;
+  static std::vector<NodeId> gold_;
+};
+
+GeneratedDataset* StructuralTest::dataset_ = nullptr;
+MethodContext StructuralTest::context_;
+std::vector<NodeId> StructuralTest::gold_;
+
+TEST_F(StructuralTest, NeMaFindsGoldButAlsoDistractors) {
+  auto nema = MakeNeMa(context_);
+  auto result = nema->QueryTopK(MakeQ117Variant(4), 0, gold_.size());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  Prf prf = ComputePrf(result.ValueOrDie(), gold_);
+  // Edge-to-path without predicate semantics: decent recall, sub-1
+  // precision (designer/nationality distractor answers leak in).
+  EXPECT_GT(prf.recall, 0.3);
+  EXPECT_LT(prf.precision, 1.0);
+}
+
+TEST_F(StructuralTest, NeMaResolvesSynonymVariants) {
+  auto nema = MakeNeMa(context_);
+  EXPECT_TRUE(nema->QueryTopK(MakeQ117Variant(1), 0, 50).ok());
+  EXPECT_TRUE(nema->QueryTopK(MakeQ117Variant(2), 0, 50).ok());
+}
+
+TEST_F(StructuralTest, GraBFailsMismatchVariantsExactLabelsOnly) {
+  auto grab = MakeGraB(context_);
+  EXPECT_FALSE(grab->QueryTopK(MakeQ117Variant(1), 0, 50).ok());
+  EXPECT_FALSE(grab->QueryTopK(MakeQ117Variant(2), 0, 50).ok());
+  auto g4 = grab->QueryTopK(MakeQ117Variant(4), 0, gold_.size());
+  ASSERT_TRUE(g4.ok());
+  EXPECT_FALSE(g4.ValueOrDie().empty());
+}
+
+TEST_F(StructuralTest, PHomPrecisionTrailsNeMa) {
+  auto nema = MakeNeMa(context_);
+  auto phom = MakePHom(context_);
+  auto a = nema->QueryTopK(MakeQ117Variant(4), 0, gold_.size());
+  auto b = phom->QueryTopK(MakeQ117Variant(4), 0, gold_.size());
+  ASSERT_TRUE(a.ok() && b.ok());
+  Prf nema_prf = ComputePrf(a.ValueOrDie(), gold_);
+  Prf phom_prf = ComputePrf(b.ValueOrDie(), gold_);
+  // Distance-aware scoring ranks the gold direct-schema answers higher.
+  EXPECT_GE(nema_prf.precision, phom_prf.precision);
+}
+
+TEST_F(StructuralTest, CandidatesRespectTargetType) {
+  auto nema = MakeNeMa(context_);
+  auto result = nema->QueryTopK(MakeQ117Variant(4), 0, 200);
+  ASSERT_TRUE(result.ok());
+  for (NodeId u : result.ValueOrDie()) {
+    EXPECT_EQ(dataset_->graph->NodeTypeName(u), "Automobile");
+  }
+}
+
+TEST_F(StructuralTest, RespectsK) {
+  auto nema = MakeNeMa(context_);
+  auto result = nema->QueryTopK(MakeQ117Variant(4), 0, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.ValueOrDie().size(), 5u);
+}
+
+TEST_F(StructuralTest, UnresolvableTypeFails) {
+  auto nema = MakeNeMa(context_);
+  QueryGraph q;
+  int t = q.AddTargetNode("Spaceship");
+  q.AddEdge(t, q.AddSpecificNode("Country", "Germany"), "assembly");
+  auto result = nema->QueryTopK(q, 0, 10);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace kgsearch

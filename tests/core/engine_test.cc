@@ -1,0 +1,179 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "eval/metrics.h"
+#include "gen/car_domain.h"
+
+namespace kgsearch {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = MakeCarDomainDataset(120, 117);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    dataset_ = std::move(result).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  SgqEngine MakeEngine() {
+    return SgqEngine(dataset_->graph.get(), dataset_->space.get(),
+                     &dataset_->library);
+  }
+
+  static GeneratedDataset* dataset_;
+};
+
+GeneratedDataset* EngineTest::dataset_ = nullptr;
+
+TEST_F(EngineTest, Q117FindsGoldAnswersWithHighRecall) {
+  SgqEngine engine = MakeEngine();
+  std::vector<NodeId> gold =
+      dataset_->GoldIds(kCarProducedIntent, kCarGermanyAnchor);
+  ASSERT_FALSE(gold.empty());
+  std::sort(gold.begin(), gold.end());
+
+  EngineOptions options;
+  options.k = gold.size();
+  QueryGraph q = MakeQ117Variant(4);  // <Automobile> assembly Germany
+  auto result = engine.Query(q, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryResult& r = result.ValueOrDie();
+  Prf prf = ComputePrf(r.AnswerIds(), gold);
+  // The engine finds all gold schemas plus the "reasonable" schemas 5-7,
+  // so precision sits below 1 while recall stays high (paper: 0.83/0.83).
+  EXPECT_GT(prf.recall, 0.6) << "P=" << prf.precision << " R=" << prf.recall;
+  EXPECT_GT(prf.precision, 0.6);
+}
+
+TEST_F(EngineTest, AllQ117VariantsResolveViaLibrary) {
+  SgqEngine engine = MakeEngine();
+  EngineOptions options;
+  options.k = 20;
+  for (int variant = 1; variant <= 4; ++variant) {
+    QueryGraph q = MakeQ117Variant(variant);
+    auto result = engine.Query(q, options);
+    ASSERT_TRUE(result.ok())
+        << "variant " << variant << ": " << result.status().ToString();
+    EXPECT_FALSE(result.ValueOrDie().matches.empty())
+        << "variant " << variant;
+  }
+}
+
+TEST_F(EngineTest, MatchesAreRankedByScore) {
+  SgqEngine engine = MakeEngine();
+  EngineOptions options;
+  options.k = 30;
+  auto result = engine.Query(MakeQ117Variant(4), options);
+  ASSERT_TRUE(result.ok());
+  const auto& matches = result.ValueOrDie().matches;
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].score + 1e-12, matches[i].score);
+  }
+  for (const FinalMatch& m : matches) {
+    ASSERT_EQ(m.parts.size(),
+              result.ValueOrDie().decomposition.subqueries.size());
+    EXPECT_EQ(m.parts[0].target(), m.pivot_match);
+  }
+}
+
+TEST_F(EngineTest, HigherTauPrunesMore) {
+  SgqEngine engine = MakeEngine();
+  EngineOptions loose;
+  loose.k = 60;
+  loose.tau = 0.6;
+  EngineOptions tight = loose;
+  tight.tau = 0.95;
+  auto a = engine.Query(MakeQ117Variant(4), loose);
+  auto b = engine.Query(MakeQ117Variant(4), tight);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(a.ValueOrDie().matches.size(), b.ValueOrDie().matches.size());
+  uint64_t pushed_loose = 0, pushed_tight = 0;
+  for (const auto& s : a.ValueOrDie().subquery_stats) pushed_loose += s.pushed;
+  for (const auto& s : b.ValueOrDie().subquery_stats) pushed_tight += s.pushed;
+  EXPECT_GE(pushed_loose, pushed_tight);
+}
+
+TEST_F(EngineTest, SmallerNHatMissesLongSchemas) {
+  SgqEngine engine = MakeEngine();
+  std::vector<NodeId> gold =
+      dataset_->GoldIds(kCarProducedIntent, kCarGermanyAnchor);
+  std::sort(gold.begin(), gold.end());
+  EngineOptions wide;
+  wide.k = gold.size();
+  EngineOptions narrow = wide;
+  narrow.n_hat = 1;
+  auto a = engine.Query(MakeQ117Variant(4), wide);
+  auto b = engine.Query(MakeQ117Variant(4), narrow);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Prf wide_prf = ComputePrf(a.ValueOrDie().AnswerIds(), gold);
+  Prf narrow_prf = ComputePrf(b.ValueOrDie().AnswerIds(), gold);
+  EXPECT_GT(wide_prf.recall, narrow_prf.recall);
+}
+
+TEST_F(EngineTest, InvalidOptionsRejected) {
+  SgqEngine engine = MakeEngine();
+  EngineOptions options;
+  options.k = 0;
+  EXPECT_FALSE(engine.Query(MakeQ117Variant(4), options).ok());
+}
+
+TEST_F(EngineTest, UnresolvableQueryReturnsNotFound) {
+  SgqEngine engine = MakeEngine();
+  QueryGraph q;
+  int car = q.AddTargetNode("Spaceship");
+  q.AddEdge(car, q.AddSpecificNode("Country", "Germany"), "assembly");
+  auto result = engine.Query(q, EngineOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, ExtractAnswersForNonPivotNode) {
+  SgqEngine engine = MakeEngine();
+  EngineOptions options;
+  options.k = 10;
+  QueryGraph q = MakeQ117Variant(4);
+  auto result = engine.Query(q, options);
+  ASSERT_TRUE(result.ok());
+  const QueryResult& r = result.ValueOrDie();
+  // Query node 1 is the specific Germany node; all its matches must be
+  // Germany itself.
+  std::vector<NodeId> anchors =
+      ExtractAnswers(r.matches, r.decomposition, 1);
+  ASSERT_EQ(anchors.size(), 1u);
+  EXPECT_EQ(dataset_->graph->NodeName(anchors[0]), "Germany");
+  // An uncovered node index yields nothing.
+  EXPECT_TRUE(ExtractAnswers(r.matches, r.decomposition, 99).empty());
+}
+
+TEST_F(EngineTest, DeterministicAcrossRuns) {
+  SgqEngine engine = MakeEngine();
+  EngineOptions options;
+  options.k = 25;
+  auto a = engine.Query(MakeQ117Variant(4), options);
+  auto b = engine.Query(MakeQ117Variant(4), options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.ValueOrDie().AnswerIds(), b.ValueOrDie().AnswerIds());
+}
+
+TEST_F(EngineTest, ExactStateModeFindsAtLeastAsMuch) {
+  SgqEngine engine = MakeEngine();
+  EngineOptions paper;
+  paper.k = 40;
+  EngineOptions exact = paper;
+  exact.dedup = DedupMode::kExactState;
+  auto a = engine.Query(MakeQ117Variant(4), paper);
+  auto b = engine.Query(MakeQ117Variant(4), exact);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GE(b.ValueOrDie().matches.size(), a.ValueOrDie().matches.size());
+}
+
+}  // namespace
+}  // namespace kgsearch

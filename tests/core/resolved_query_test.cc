@@ -1,0 +1,95 @@
+#include "core/resolved_query.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+class ResolvedQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NodeId audi = graph_.AddNode("Audi_TT", "Automobile");
+    NodeId bmw = graph_.AddNode("BMW_320", "Automobile");
+    NodeId germany = graph_.AddNode("Germany", "Country");
+    graph_.AddEdge(audi, "assembly", germany);
+    graph_.AddEdge(bmw, "assembly", germany);
+    graph_.InternPredicate("product");
+    graph_.Finalize();
+    library_.AddTypeSynonym("Car", "Automobile");
+    library_.AddNameAbbreviation("GER", "Germany");
+  }
+
+  SubQueryGraph SingleEdgePath() {
+    SubQueryGraph sub;
+    sub.node_seq = {1, 0};  // germany (specific) -> car (target)
+    sub.edge_seq = {0};
+    return sub;
+  }
+
+  QueryGraph MakeQuery(const std::string& target_type,
+                       const std::string& anchor_name,
+                       const std::string& predicate) {
+    QueryGraph q;
+    int car = q.AddTargetNode(target_type);
+    int anchor = q.AddSpecificNode("Country", anchor_name);
+    q.AddEdge(car, anchor, predicate);
+    return q;
+  }
+
+  KnowledgeGraph graph_;
+  TransformationLibrary library_;
+};
+
+TEST_F(ResolvedQueryTest, ResolvesThroughLibrary) {
+  QueryGraph q = MakeQuery("Car", "GER", "product");
+  NodeMatcher matcher(&graph_, &library_);
+  auto result = ResolveSubQuery(q, SingleEdgePath(), matcher);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ResolvedSubQuery& sub = result.ValueOrDie();
+  EXPECT_EQ(sub.Length(), 1u);
+  EXPECT_EQ(sub.edge_predicates[0], graph_.FindPredicate("product"));
+  ASSERT_EQ(sub.start_candidates.size(), 1u);
+  EXPECT_EQ(graph_.NodeName(sub.start_candidates[0]), "Germany");
+  EXPECT_FALSE(sub.node_constraints.back().specific);
+  EXPECT_TRUE(sub.node_constraints.back().Matches(
+      graph_, graph_.FindNode("Audi_TT")));
+  EXPECT_FALSE(sub.node_constraints.back().Matches(
+      graph_, graph_.FindNode("Germany")));
+}
+
+TEST_F(ResolvedQueryTest, FailsOnUnknownPredicate) {
+  QueryGraph q = MakeQuery("Automobile", "Germany", "made_by");
+  NodeMatcher matcher(&graph_, &library_);
+  auto result = ResolveSubQuery(q, SingleEdgePath(), matcher);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ResolvedQueryTest, FailsOnUnresolvableName) {
+  QueryGraph q = MakeQuery("Automobile", "Atlantis", "assembly");
+  NodeMatcher matcher(&graph_, &library_);
+  auto result = ResolveSubQuery(q, SingleEdgePath(), matcher);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ResolvedQueryTest, FailsOnUnresolvableType) {
+  QueryGraph q = MakeQuery("Spaceship", "Germany", "assembly");
+  NodeMatcher matcher(&graph_, &library_);
+  auto result = ResolveSubQuery(q, SingleEdgePath(), matcher);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ResolvedQueryTest, PathMustStartAtSpecificNode) {
+  QueryGraph q = MakeQuery("Automobile", "Germany", "assembly");
+  SubQueryGraph reversed;
+  reversed.node_seq = {0, 1};  // starts at the target node
+  reversed.edge_seq = {0};
+  NodeMatcher matcher(&graph_, &library_);
+  auto result = ResolveSubQuery(q, reversed, matcher);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace kgsearch

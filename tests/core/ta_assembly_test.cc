@@ -1,0 +1,156 @@
+#include "core/ta_assembly.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace kgsearch {
+namespace {
+
+PathMatch MakeMatch(NodeId pivot, double pss) {
+  PathMatch m;
+  m.nodes = {1000, pivot};
+  m.predicates = {0};
+  m.weights = {pss};
+  m.stage_ends = {1};
+  m.pss = pss;
+  return m;
+}
+
+/// Sorts a match set descending by pss, as AStarSearch guarantees.
+std::vector<PathMatch> Sorted(std::vector<PathMatch> ms) {
+  std::sort(ms.begin(), ms.end(),
+            [](const PathMatch& a, const PathMatch& b) { return a.pss > b.pss; });
+  return ms;
+}
+
+TEST(TaAssemblyTest, PaperFigure10Example) {
+  // M1: u2:0.98 u1:0.82 u3:0.77 u4:0.58 ; M2: u2:0.77? -- the paper's
+  // figure uses abstract values; we reproduce its structure: the top-2
+  // final matches are decided without draining both lists.
+  std::vector<PathMatch> m1 = {MakeMatch(2, 0.98), MakeMatch(1, 0.89),
+                               MakeMatch(3, 0.82), MakeMatch(4, 0.58)};
+  std::vector<PathMatch> m2 = {MakeMatch(1, 0.82), MakeMatch(2, 0.77),
+                               MakeMatch(3, 0.77), MakeMatch(4, 0.52)};
+  TaStats stats;
+  auto result = AssembleTopK({m1, m2}, 2, &stats);
+  ASSERT_TRUE(result.ok());
+  const auto& top = result.ValueOrDie();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].pivot_match, 2u);
+  EXPECT_NEAR(top[0].score, 0.98 + 0.77, 1e-9);
+  EXPECT_EQ(top[1].pivot_match, 1u);
+  EXPECT_NEAR(top[1].score, 0.89 + 0.82, 1e-9);
+  EXPECT_TRUE(stats.early_terminated);
+  EXPECT_LT(stats.sorted_accesses, m1.size() + m2.size());
+}
+
+TEST(TaAssemblyTest, SingleSetIsTopK) {
+  std::vector<PathMatch> m1 = {MakeMatch(1, 0.9), MakeMatch(2, 0.8),
+                               MakeMatch(3, 0.7)};
+  auto result = AssembleTopK({m1}, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.ValueOrDie().size(), 2u);
+  EXPECT_EQ(result.ValueOrDie()[0].pivot_match, 1u);
+  EXPECT_EQ(result.ValueOrDie()[1].pivot_match, 2u);
+}
+
+TEST(TaAssemblyTest, EmptyInputs) {
+  EXPECT_TRUE(AssembleTopK({}, 5).ValueOrDie().empty());
+  EXPECT_TRUE(AssembleTopK({{}}, 5).ValueOrDie().empty());
+  std::vector<PathMatch> m1 = {MakeMatch(1, 0.9)};
+  // One empty set empties the inner join.
+  EXPECT_TRUE(AssembleTopK({m1, {}}, 5).ValueOrDie().empty());
+  EXPECT_TRUE(AssembleTopK({m1}, 0).ValueOrDie().empty());
+}
+
+TEST(TaAssemblyTest, InnerJoinRequiresAllSets) {
+  std::vector<PathMatch> m1 = {MakeMatch(1, 0.9), MakeMatch(2, 0.8)};
+  std::vector<PathMatch> m2 = {MakeMatch(2, 0.7), MakeMatch(3, 0.6)};
+  auto result = AssembleTopK({m1, m2}, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.ValueOrDie().size(), 1u);  // only pivot 2 joins
+  EXPECT_EQ(result.ValueOrDie()[0].pivot_match, 2u);
+  ASSERT_EQ(result.ValueOrDie()[0].parts.size(), 2u);
+  EXPECT_NEAR(result.ValueOrDie()[0].parts[0].pss, 0.8, 1e-9);
+  EXPECT_NEAR(result.ValueOrDie()[0].parts[1].pss, 0.7, 1e-9);
+}
+
+TEST(TaAssemblyTest, DuplicatePivotInOneSetUsesBest) {
+  std::vector<PathMatch> m1 =
+      Sorted({MakeMatch(1, 0.9), MakeMatch(1, 0.5), MakeMatch(2, 0.6)});
+  std::vector<PathMatch> m2 = {MakeMatch(1, 0.8), MakeMatch(2, 0.7)};
+  auto result = AssembleTopK({m1, m2}, 10);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.ValueOrDie().size(), 2u);
+  EXPECT_EQ(result.ValueOrDie()[0].pivot_match, 1u);
+  EXPECT_NEAR(result.ValueOrDie()[0].score, 0.9 + 0.8, 1e-9);
+}
+
+/// Property sweep: TA with early termination must equal the brute-force
+/// join over random match sets, for several shapes and k values.
+class TaRandomSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TaRandomSweep, MatchesBruteForceJoin) {
+  const int seed = std::get<0>(GetParam());
+  const size_t k = static_cast<size_t>(std::get<1>(GetParam()));
+  Rng rng(static_cast<uint64_t>(seed) * 131 + 7);
+  const size_t num_sets = 1 + rng.UniformIndex(3);
+  const size_t pivot_universe = 30;
+
+  std::vector<std::vector<PathMatch>> sets(num_sets);
+  for (auto& set : sets) {
+    const size_t count = 5 + rng.UniformIndex(40);
+    for (size_t i = 0; i < count; ++i) {
+      set.push_back(MakeMatch(
+          static_cast<NodeId>(rng.UniformIndex(pivot_universe)),
+          0.2 + 0.8 * rng.UniformReal()));
+    }
+    set = Sorted(std::move(set));
+  }
+
+  // Brute-force reference: best pss per (set, pivot), inner join, top-k.
+  std::map<NodeId, std::vector<double>> best(std::map<NodeId, std::vector<double>>{});
+  for (size_t i = 0; i < num_sets; ++i) {
+    for (const PathMatch& m : sets[i]) {
+      auto [it, inserted] =
+          best.emplace(m.target(), std::vector<double>(num_sets, -1.0));
+      it->second[i] = std::max(it->second[i], m.pss);
+      (void)inserted;
+    }
+  }
+  std::vector<std::pair<double, NodeId>> reference;
+  for (const auto& [pivot, scores] : best) {
+    double total = 0.0;
+    bool complete = true;
+    for (double s : scores) {
+      if (s < 0.0) complete = false;
+      total += std::max(0.0, s);
+    }
+    if (complete) reference.emplace_back(total, pivot);
+  }
+  std::sort(reference.begin(), reference.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (reference.size() > k) reference.resize(k);
+
+  TaStats stats;
+  auto result = AssembleTopK(sets, k, &stats);
+  ASSERT_TRUE(result.ok());
+  const auto& top = result.ValueOrDie();
+  ASSERT_EQ(top.size(), reference.size());
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].pivot_match, reference[i].second) << "rank " << i;
+    EXPECT_NEAR(top[i].score, reference[i].first, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TaRandomSweep,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Values(1, 3, 10)));
+
+}  // namespace
+}  // namespace kgsearch

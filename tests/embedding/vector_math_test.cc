@@ -1,0 +1,79 @@
+#include "embedding/vector_math.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+TEST(VectorMathTest, DotAndNorm) {
+  FloatVec a = {1.0f, 2.0f, 3.0f};
+  FloatVec b = {4.0f, -5.0f, 6.0f};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(Norm({3.0f, 4.0f}), 5.0);
+}
+
+TEST(VectorMathTest, NormalizeMakesUnit) {
+  FloatVec v = {3.0f, 4.0f};
+  NormalizeInPlace(&v);
+  EXPECT_NEAR(Norm(v), 1.0, 1e-6);
+  EXPECT_NEAR(v[0], 0.6, 1e-6);
+  FloatVec zero = {0.0f, 0.0f};
+  NormalizeInPlace(&zero);  // must not divide by zero
+  EXPECT_DOUBLE_EQ(Norm(zero), 0.0);
+}
+
+TEST(VectorMathTest, CosineProperties) {
+  FloatVec x = {1.0f, 0.0f};
+  FloatVec y = {0.0f, 2.0f};
+  FloatVec nx = {-3.0f, 0.0f};
+  EXPECT_NEAR(Cosine(x, x), 1.0, 1e-9);
+  EXPECT_NEAR(Cosine(x, y), 0.0, 1e-9);
+  EXPECT_NEAR(Cosine(x, nx), -1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Cosine(x, {0.0f, 0.0f}), 0.0);
+}
+
+TEST(VectorMathTest, Axpy) {
+  FloatVec a = {1.0f, 1.0f};
+  Axpy(2.0, {3.0f, -1.0f}, &a);
+  EXPECT_FLOAT_EQ(a[0], 7.0f);
+  EXPECT_FLOAT_EQ(a[1], -1.0f);
+}
+
+TEST(VectorMathTest, TransEScore) {
+  FloatVec h = {1.0f, 0.0f};
+  FloatVec r = {0.0f, 1.0f};
+  FloatVec t = {1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(TransEScoreL2Sq(h, r, t), 0.0);  // h + r == t
+  EXPECT_DOUBLE_EQ(TransEScoreL2Sq(h, r, {0.0f, 0.0f}), 2.0);
+}
+
+TEST(VectorMathTest, RandomInitWithinBounds) {
+  Rng rng(1);
+  const size_t dim = 25;
+  const double bound = 6.0 / 5.0;
+  for (int i = 0; i < 20; ++i) {
+    FloatVec v = RandomInitVec(dim, &rng);
+    ASSERT_EQ(v.size(), dim);
+    for (float x : v) {
+      EXPECT_GE(x, -bound);
+      EXPECT_LE(x, bound);
+    }
+  }
+}
+
+TEST(VectorMathTest, RandomUnitVecIsUnit) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NEAR(Norm(RandomUnitVec(32, &rng)), 1.0, 1e-5);
+  }
+}
+
+TEST(VectorMathTest, HighDimRandomUnitVectorsNearOrthogonal) {
+  Rng rng(1);
+  FloatVec a = RandomUnitVec(128, &rng);
+  FloatVec b = RandomUnitVec(128, &rng);
+  EXPECT_LT(std::abs(Cosine(a, b)), 0.35);
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,95 @@
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = GenerateDataset(DbpediaLikeSpec(0.2, 77));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    dataset_ = std::move(result).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static GeneratedDataset* dataset_;
+};
+
+GeneratedDataset* HarnessTest::dataset_ = nullptr;
+
+TEST_F(HarnessTest, StandardWorkloadMixesSimpleAndStar) {
+  auto workload = MakeStandardWorkload(*dataset_, 8);
+  ASSERT_FALSE(workload.empty());
+  bool has_simple = false, has_star = false;
+  for (const QueryWithGold& q : workload) {
+    EXPECT_FALSE(q.gold.empty()) << q.description;
+    if (q.description.rfind("simple", 0) == 0) has_simple = true;
+    if (q.description.rfind("star", 0) == 0) has_star = true;
+  }
+  EXPECT_TRUE(has_simple);
+  EXPECT_TRUE(has_star);
+}
+
+TEST_F(HarnessTest, ComparisonRosterNamesMatchThePaper) {
+  auto methods = MakeComparisonMethods(*dataset_, EngineOptions{});
+  ASSERT_EQ(methods.size(), 5u);
+  EXPECT_EQ(methods[0]->name(), "SGQ");
+  EXPECT_EQ(methods[1]->name(), "GraB");
+  EXPECT_EQ(methods[2]->name(), "S4");
+  EXPECT_EQ(methods[3]->name(), "QGA");
+  EXPECT_EQ(methods[4]->name(), "p-hom");
+}
+
+TEST_F(HarnessTest, RunMethodAggregatesMetrics) {
+  auto workload = MakeStandardWorkload(*dataset_, 4);
+  auto methods = MakeComparisonMethods(*dataset_, EngineOptions{});
+  MethodRun run = RunMethodOnWorkload(*methods[0], workload, 20);
+  EXPECT_EQ(run.method, "SGQ");
+  EXPECT_GT(run.precision, 0.0);
+  EXPECT_GT(run.recall, 0.0);
+  EXPECT_GE(run.max_ms, run.min_ms);
+  EXPECT_GE(run.max_ms, run.avg_ms);
+  EXPECT_EQ(run.queries_failed, 0u);
+}
+
+TEST_F(HarnessTest, GoldSizedKYieldsPrecisionTrackingRecall) {
+  auto workload = MakeStandardWorkload(*dataset_, 3);
+  auto methods = MakeComparisonMethods(*dataset_, EngineOptions{});
+  MethodRun run = RunMethodOnWorkload(*methods[0], workload, 0);  // k=|gold|
+  EXPECT_NEAR(run.precision, run.recall, 0.25);
+}
+
+TEST_F(HarnessTest, SgqBeatsStructuralBaselinesOnF1) {
+  auto workload = MakeStandardWorkload(*dataset_, 4);
+  auto methods = MakeComparisonMethods(*dataset_, EngineOptions{});
+  MethodRun sgq = RunMethodOnWorkload(*methods[0], workload, 100);
+  MethodRun grab = RunMethodOnWorkload(*methods[1], workload, 100);
+  MethodRun phom = RunMethodOnWorkload(*methods[4], workload, 100);
+  EXPECT_GE(sgq.f1 + 1e-9, grab.f1);
+  EXPECT_GE(sgq.f1 + 1e-9, phom.f1);
+  EXPECT_GE(sgq.precision, phom.precision);
+}
+
+TEST_F(HarnessTest, TbqNearSgqAtGenerousRatio) {
+  auto workload = MakeStandardWorkload(*dataset_, 3);
+  MethodRun tbq =
+      RunTbqRelativeToSgq(*dataset_, workload, 40, 5.0, EngineOptions{});
+  auto methods = MakeComparisonMethods(*dataset_, EngineOptions{});
+  MethodRun sgq = RunMethodOnWorkload(*methods[0], workload, 40);
+  EXPECT_NEAR(tbq.f1, sgq.f1, 0.15);
+  EXPECT_EQ(tbq.method, "TBQ-5.0");
+}
+
+TEST_F(HarnessTest, EmptyWorkloadIsSafe) {
+  auto methods = MakeComparisonMethods(*dataset_, EngineOptions{});
+  MethodRun run = RunMethodOnWorkload(*methods[0], {}, 10);
+  EXPECT_EQ(run.precision, 0.0);
+  EXPECT_EQ(run.queries_failed, 0u);
+}
+
+}  // namespace
+}  // namespace kgsearch

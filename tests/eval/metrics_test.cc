@@ -1,0 +1,71 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+TEST(PrfTest, PerfectAnswers) {
+  Prf prf = ComputePrf({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+}
+
+TEST(PrfTest, PartialOverlap) {
+  // 2 of 4 answers correct; gold has 8 entries.
+  Prf prf = ComputePrf({1, 2, 100, 200}, {1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.25);
+  EXPECT_NEAR(prf.f1, 2 * 0.5 * 0.25 / 0.75, 1e-12);
+}
+
+TEST(PrfTest, EmptyInputs) {
+  Prf prf = ComputePrf({}, {1});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+  prf = ComputePrf({1}, {});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+}
+
+TEST(PrfTest, DuplicateAnswersCountedOnce) {
+  Prf prf = ComputePrf({1, 1, 1, 2}, {1, 5});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);  // distinct answers {1, 2}
+  EXPECT_DOUBLE_EQ(prf.recall, 0.5);
+}
+
+TEST(JaccardTest, Basics) {
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(Jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1}, {}), 0.0);
+}
+
+TEST(JaccardTest, OrderAndDuplicatesIgnored) {
+  EXPECT_DOUBLE_EQ(Jaccard({3, 1, 2, 2}, {2, 3, 1}), 1.0);
+}
+
+TEST(PearsonTest, PerfectCorrelations) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computed: x={1,2,3}, y={1,3,2} -> r = 0.5.
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {1, 3, 2}), 0.5, 1e-12);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace kgsearch

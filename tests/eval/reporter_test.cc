@@ -1,0 +1,37 @@
+#include "eval/reporter.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"Method", "P", "R"});
+  t.AddRow({"SGQ", "0.960", "0.480"});
+  t.AddRow({"gStore-long-name", "1.000", "0.390"});
+  std::string text = t.ToText();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("Method"), std::string::npos);
+  EXPECT_NE(text.find("gStore-long-name"), std::string::npos);
+  // All lines equally... at least the rule is as wide as the longest cell.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TableTest, CellFormatsDoubles) {
+  EXPECT_EQ(Table::Cell(0.12345), "0.123");
+  EXPECT_EQ(Table::Cell(2.0, 1), "2.0");
+  EXPECT_EQ(Table::Cell(10.5, 0), "10");  // rounds to nearest even
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.AddRow({"has,comma", "has\"quote"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 4), "a,b\n");
+}
+
+}  // namespace
+}  // namespace kgsearch

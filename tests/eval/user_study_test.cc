@@ -1,0 +1,76 @@
+#include "eval/user_study.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+/// Ranked answers: the first half gold with descending scores, the rest
+/// non-gold with lower scores — the shape SGQ produces.
+struct Study {
+  std::vector<NodeId> ranked;
+  std::vector<double> scores;
+  std::vector<NodeId> gold;
+};
+
+Study MakeStudy(size_t n) {
+  Study s;
+  for (size_t i = 0; i < n; ++i) {
+    s.ranked.push_back(static_cast<NodeId>(i));
+    s.scores.push_back(1.8 - 0.02 * static_cast<double>(i));
+    if (i < n / 2) s.gold.push_back(static_cast<NodeId>(i));
+  }
+  return s;
+}
+
+TEST(UserStudyTest, WellRankedAnswersEarnStrongPcc) {
+  Study s = MakeStudy(40);
+  UserStudyConfig config;
+  config.annotator_noise = 0.15;
+  double pcc = SimulateUserStudyPcc(s.ranked, s.scores, s.gold, config);
+  EXPECT_GT(pcc, 0.5) << "expected strong positive correlation, got " << pcc;
+}
+
+TEST(UserStudyTest, MoreNoiseWeakensCorrelation) {
+  Study s = MakeStudy(40);
+  UserStudyConfig low;
+  low.annotator_noise = 0.1;
+  UserStudyConfig high;
+  high.annotator_noise = 1.5;
+  double strong = SimulateUserStudyPcc(s.ranked, s.scores, s.gold, low);
+  double weak = SimulateUserStudyPcc(s.ranked, s.scores, s.gold, high);
+  EXPECT_GT(strong, weak);
+}
+
+TEST(UserStudyTest, InvertedRankingEarnsNegativePcc) {
+  Study s = MakeStudy(40);
+  // Reverse the ranking but keep scores/gold: SGQ now disagrees with users.
+  std::reverse(s.ranked.begin(), s.ranked.end());
+  std::reverse(s.scores.begin(), s.scores.end());
+  // gold is now at the *end* of the ranking.
+  UserStudyConfig config;
+  config.annotator_noise = 0.15;
+  double pcc = SimulateUserStudyPcc(s.ranked, s.scores, s.gold, config);
+  EXPECT_LT(pcc, -0.3);
+}
+
+TEST(UserStudyTest, DegenerateInputsReturnZero) {
+  UserStudyConfig config;
+  EXPECT_DOUBLE_EQ(SimulateUserStudyPcc({}, {}, {}, config), 0.0);
+  EXPECT_DOUBLE_EQ(SimulateUserStudyPcc({1}, {0.5}, {1}, config), 0.0);
+  // All-equal scores: one score group only, no valid pairs.
+  EXPECT_DOUBLE_EQ(
+      SimulateUserStudyPcc({1, 2, 3}, {0.5, 0.5, 0.5}, {1}, config), 0.0);
+}
+
+TEST(UserStudyTest, DeterministicForFixedSeed) {
+  Study s = MakeStudy(30);
+  UserStudyConfig config;
+  config.seed = 9;
+  double a = SimulateUserStudyPcc(s.ranked, s.scores, s.gold, config);
+  double b = SimulateUserStudyPcc(s.ranked, s.scores, s.gold, config);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace kgsearch

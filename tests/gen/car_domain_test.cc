@@ -1,0 +1,82 @@
+#include "gen/car_domain.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+TEST(CarDomainTest, BuildsWithPaperSchemas) {
+  auto result = MakeCarDomainDataset(100, 117);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  // All Q117 predicates are in the vocabulary.
+  for (const char* p : {"product", "assembly", "country", "manufacturer",
+                        "location", "locationCountry", "designCompany",
+                        "designer", "nationality"}) {
+    EXPECT_NE(ds.graph->FindPredicate(p), kInvalidSymbol) << p;
+  }
+  EXPECT_NE(ds.graph->FindNode("Germany"), kInvalidNode);
+  EXPECT_NE(ds.graph->FindType("Automobile"), kInvalidSymbol);
+}
+
+TEST(CarDomainTest, LibraryCarriesTableIIIRecords) {
+  auto result = MakeCarDomainDataset(60, 117);
+  ASSERT_TRUE(result.ok());
+  const TransformationLibrary& lib = result.ValueOrDie()->library;
+  bool car_to_auto = false;
+  for (const Resolution& r : lib.ResolveType("Car")) {
+    if (r.canonical == "Automobile" && r.kind == MatchKind::kSynonym) {
+      car_to_auto = true;
+    }
+  }
+  EXPECT_TRUE(car_to_auto);
+  bool ger_to_germany = false;
+  for (const Resolution& r : lib.ResolveName("GER")) {
+    if (r.canonical == "Germany" && r.kind == MatchKind::kAbbreviation) {
+      ger_to_germany = true;
+    }
+  }
+  EXPECT_TRUE(ger_to_germany);
+}
+
+TEST(CarDomainTest, ProductIsQueryOnlyPredicate) {
+  auto result = MakeCarDomainDataset(60, 117);
+  ASSERT_TRUE(result.ok());
+  const KnowledgeGraph& g = *result.ValueOrDie()->graph;
+  PredicateId product = g.FindPredicate("product");
+  ASSERT_NE(product, kInvalidSymbol);
+  for (const Triple& t : g.triples()) {
+    EXPECT_NE(t.predicate, product) << "product must label no edges (G3Q)";
+  }
+}
+
+TEST(CarDomainTest, GoldCoversOnlyValidatedSchemas) {
+  auto result = MakeCarDomainDataset(200, 117);
+  ASSERT_TRUE(result.ok());
+  const GeneratedIntent& intent =
+      result.ValueOrDie()->intents[kCarProducedIntent];
+  // Gold = union of templates 0-3 (assembly direct + three 2-hop schemas).
+  ASSERT_GE(intent.spec.templates.size(), 8u);
+  for (size_t t = 0; t < 4; ++t) EXPECT_TRUE(intent.spec.templates[t].correct);
+  for (size_t t = 4; t < 8; ++t) {
+    EXPECT_FALSE(intent.spec.templates[t].correct);
+  }
+  EXPECT_FALSE(intent.gold[kCarGermanyAnchor].empty());
+}
+
+TEST(CarDomainTest, Q117VariantsHavePaperSyntax) {
+  QueryGraph v1 = MakeQ117Variant(1);
+  EXPECT_EQ(v1.node(0).type, "Car");
+  EXPECT_EQ(v1.edge(0).predicate, "assembly");
+  QueryGraph v2 = MakeQ117Variant(2);
+  EXPECT_EQ(v2.node(1).name, "GER");
+  QueryGraph v3 = MakeQ117Variant(3);
+  EXPECT_EQ(v3.edge(0).predicate, "product");
+  QueryGraph v4 = MakeQ117Variant(4);
+  EXPECT_EQ(v4.node(0).type, "Automobile");
+  EXPECT_EQ(v4.node(1).name, "Germany");
+  EXPECT_EQ(v4.edge(0).predicate, "assembly");
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,170 @@
+#include "gen/synthetic_kg.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kgsearch {
+namespace {
+
+DatasetSpec SmallSpec(uint64_t seed = 5) {
+  DatasetSpec spec = DbpediaLikeSpec(0.1, seed);
+  return spec;
+}
+
+TEST(SyntheticKgTest, RejectsBadSpecs) {
+  DatasetSpec empty;
+  empty.groups.clear();
+  EXPECT_FALSE(GenerateDataset(empty).ok());
+  DatasetSpec tiny = SmallSpec();
+  tiny.embedding_dim = 2;
+  EXPECT_FALSE(GenerateDataset(tiny).ok());
+}
+
+TEST(SyntheticKgTest, GeneratesFinalizedGraphWithAllPieces) {
+  auto result = GenerateDataset(SmallSpec());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  EXPECT_TRUE(ds.graph->finalized());
+  EXPECT_GT(ds.graph->NumNodes(), 100u);
+  EXPECT_GT(ds.graph->NumEdges(), 100u);
+  EXPECT_EQ(ds.space->NumPredicates(), ds.graph->NumPredicates());
+  EXPECT_EQ(ds.intents.size(), 5u);  // 3 + 2 across the two groups
+  EXPECT_GT(ds.library.NumTypeRecords() + ds.library.NumNameRecords(), 0u);
+}
+
+TEST(SyntheticKgTest, DeterministicForFixedSeed) {
+  auto a = GenerateDataset(SmallSpec(9));
+  auto b = GenerateDataset(SmallSpec(9));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.ValueOrDie()->graph->NumNodes(),
+            b.ValueOrDie()->graph->NumNodes());
+  EXPECT_EQ(a.ValueOrDie()->graph->NumEdges(),
+            b.ValueOrDie()->graph->NumEdges());
+  EXPECT_EQ(a.ValueOrDie()->intents[0].gold[0],
+            b.ValueOrDie()->intents[0].gold[0]);
+}
+
+TEST(SyntheticKgTest, GoldSetsAreNonEmptyAndTyped) {
+  auto result = GenerateDataset(SmallSpec());
+  ASSERT_TRUE(result.ok());
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  const GeneratedIntent& intent = ds.intents[0];
+  // The Zipf-skewed anchor 0 must have gold answers.
+  ASSERT_FALSE(intent.gold[0].empty());
+  std::vector<NodeId> ids = ds.GoldIds(0, 0);
+  const std::string& subject_type =
+      ds.spec.groups[intent.group_index].subject_type;
+  for (NodeId u : ids) {
+    EXPECT_EQ(ds.graph->NodeTypeName(u), subject_type);
+  }
+}
+
+TEST(SyntheticKgTest, GoldMatchesCorrectTemplatesOnly) {
+  auto result = GenerateDataset(SmallSpec());
+  ASSERT_TRUE(result.ok());
+  const GeneratedIntent& intent = result.ValueOrDie()->intents[0];
+  for (size_t a = 0; a < intent.gold.size(); ++a) {
+    std::set<std::string> expected;
+    for (size_t t = 0; t < intent.spec.templates.size(); ++t) {
+      if (!intent.spec.templates[t].correct) continue;
+      expected.insert(intent.gold_by_template[a][t].begin(),
+                      intent.gold_by_template[a][t].end());
+    }
+    EXPECT_EQ(intent.gold[a], expected) << "anchor " << a;
+  }
+}
+
+TEST(SyntheticKgTest, SemanticStrengthsAreHonored) {
+  auto result = GenerateDataset(SmallSpec());
+  ASSERT_TRUE(result.ok());
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  const IntentSpec& intent = ds.intents[0].spec;
+  PredicateId q = ds.graph->FindPredicate(intent.query_predicate);
+  ASSERT_NE(q, kInvalidSymbol);
+  for (const PredicateSpec& p : intent.predicates) {
+    if (p.name == intent.query_predicate) continue;
+    PredicateId pid = ds.graph->FindPredicate(p.name);
+    ASSERT_NE(pid, kInvalidSymbol) << p.name;
+    // cos(q, p) ~ s_q * s_p with a small cross-term.
+    const double expected = 0.98 * p.strength;
+    EXPECT_NEAR(ds.space->Cosine(q, pid), expected, 0.08) << p.name;
+  }
+}
+
+TEST(SyntheticKgTest, CrossIntentPredicatesNearOrthogonal) {
+  auto result = GenerateDataset(SmallSpec());
+  ASSERT_TRUE(result.ok());
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  PredicateId a =
+      ds.graph->FindPredicate(ds.intents[0].spec.query_predicate);
+  PredicateId b =
+      ds.graph->FindPredicate(ds.intents[1].spec.query_predicate);
+  EXPECT_LT(std::abs(ds.space->Cosine(a, b)), 0.45);
+}
+
+TEST(SyntheticKgTest, AliasCatalogHasRegisteredAndUnregistered) {
+  auto result = GenerateDataset(SmallSpec());
+  ASSERT_TRUE(result.ok());
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  ASSERT_FALSE(ds.type_aliases.empty());
+  size_t registered = 0, unregistered = 0;
+  for (const auto& [canonical, aliases] : ds.type_aliases) {
+    ASSERT_FALSE(aliases.empty());
+    EXPECT_TRUE(aliases[0].second) << "first alias must be registered";
+    for (const auto& [alias, reg] : aliases) {
+      (reg ? registered : unregistered) += 1;
+      if (reg) {
+        // A registered alias resolves through the library.
+        bool found = false;
+        for (const Resolution& r : ds.library.ResolveType(alias)) {
+          if (r.canonical == canonical) found = true;
+        }
+        EXPECT_TRUE(found) << alias << " -> " << canonical;
+      }
+    }
+  }
+  EXPECT_GT(registered, 0u);
+  EXPECT_GT(unregistered, 0u);
+}
+
+TEST(SyntheticKgTest, AnchorNameOverride) {
+  DatasetSpec spec = SmallSpec();
+  spec.groups[0].intents[0].anchor_names = {"Germany", "Italy"};
+  auto result = GenerateDataset(spec);
+  ASSERT_TRUE(result.ok());
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  EXPECT_EQ(ds.intents[0].anchor_names[0], "Germany");
+  EXPECT_EQ(ds.intents[0].anchor_names.size(), 2u);
+  EXPECT_NE(ds.graph->FindNode("Germany"), kInvalidNode);
+}
+
+TEST(SyntheticKgTest, ProfilesDifferInScale) {
+  auto db = GenerateDataset(DbpediaLikeSpec(0.05));
+  auto fb = GenerateDataset(FreebaseLikeSpec(0.05));
+  auto yg = GenerateDataset(Yago2LikeSpec(0.05));
+  ASSERT_TRUE(db.ok() && fb.ok() && yg.ok());
+  EXPECT_EQ(db.ValueOrDie()->spec.name, "dbpedia-like");
+  EXPECT_EQ(fb.ValueOrDie()->spec.name, "freebase-like");
+  EXPECT_EQ(yg.ValueOrDie()->spec.name, "yago2-like");
+  // YAGO2-like has the largest subject pools at equal scale.
+  EXPECT_GT(yg.ValueOrDie()->intents[0].gold[0].size(), 0u);
+}
+
+TEST(SyntheticKgTest, QueryPredicateLabelsDirectEdges) {
+  // The query predicate itself must appear on direct subject-anchor edges
+  // (the Table I slice exact baselines can find).
+  auto result = GenerateDataset(SmallSpec());
+  ASSERT_TRUE(result.ok());
+  const GeneratedDataset& ds = *result.ValueOrDie();
+  PredicateId q =
+      ds.graph->FindPredicate(ds.intents[0].spec.query_predicate);
+  size_t count = 0;
+  for (const Triple& t : ds.graph->triples()) {
+    if (t.predicate == q) ++count;
+  }
+  EXPECT_GT(count, 0u);
+}
+
+}  // namespace
+}  // namespace kgsearch

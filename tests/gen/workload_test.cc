@@ -1,0 +1,167 @@
+#include "gen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace kgsearch {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto result = GenerateDataset(DbpediaLikeSpec(0.15, 5));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    dataset_ = std::move(result).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static GeneratedDataset* dataset_;
+};
+
+GeneratedDataset* WorkloadTest::dataset_ = nullptr;
+
+TEST_F(WorkloadTest, IntentQueryShape) {
+  auto result = MakeIntentQuery(*dataset_, 0, 0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryWithGold& q = result.ValueOrDie();
+  EXPECT_EQ(q.query.NumNodes(), 2u);
+  EXPECT_EQ(q.query.NumEdges(), 1u);
+  EXPECT_EQ(q.answer_node, 0);
+  EXPECT_FALSE(q.query.node(0).is_specific());
+  EXPECT_TRUE(q.query.node(1).is_specific());
+  EXPECT_FALSE(q.gold.empty());
+  EXPECT_TRUE(std::is_sorted(q.gold.begin(), q.gold.end()));
+}
+
+TEST_F(WorkloadTest, IntentQueryBoundsChecked) {
+  EXPECT_FALSE(MakeIntentQuery(*dataset_, 999, 0).ok());
+  EXPECT_FALSE(MakeIntentQuery(*dataset_, 0, 999).ok());
+}
+
+TEST_F(WorkloadTest, ChainQueryShapeAndGold) {
+  // Template 2 is the first 2-hop correct schema of the standard intent.
+  auto result = MakeChainQuery(*dataset_, 0, 0, 2);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryWithGold& q = result.ValueOrDie();
+  EXPECT_EQ(q.query.NumNodes(), 3u);
+  EXPECT_EQ(q.query.NumEdges(), 2u);
+  EXPECT_FALSE(q.query.node(1).is_specific());  // intermediate target
+
+  // Gold must contain every subject instantiated through the 2-hop schema
+  // and exclude direct-only subjects.
+  const GeneratedIntent& intent = dataset_->intents[0];
+  const auto& by_template = intent.gold_by_template[0];
+  std::set<std::string> expected;
+  const std::string mid = intent.spec.templates[2].inter_types[0];
+  for (size_t t = 0; t < intent.spec.templates.size(); ++t) {
+    const PathTemplate& tmpl = intent.spec.templates[t];
+    if (!tmpl.correct) continue;
+    if (std::find(tmpl.inter_types.begin(), tmpl.inter_types.end(), mid) ==
+        tmpl.inter_types.end()) {
+      continue;
+    }
+    expected.insert(by_template[t].begin(), by_template[t].end());
+  }
+  EXPECT_EQ(q.gold.size(), expected.size());
+}
+
+TEST_F(WorkloadTest, ChainQueryRejectsDirectTemplate) {
+  EXPECT_FALSE(MakeChainQuery(*dataset_, 0, 0, 0).ok());  // 1-hop schema
+  EXPECT_FALSE(MakeChainQuery(*dataset_, 0, 0, 999).ok());
+}
+
+TEST_F(WorkloadTest, StarQueryIntersectsGold) {
+  auto a = MakeIntentQuery(*dataset_, 0, 0);
+  auto b = MakeIntentQuery(*dataset_, 1, 0);
+  auto star = MakeStarQuery(*dataset_, {{0, 0}, {1, 0}});
+  ASSERT_TRUE(a.ok() && b.ok() && star.ok()) << star.status().ToString();
+  const auto& gold = star.ValueOrDie().gold;
+  std::vector<NodeId> expected;
+  std::set_intersection(a.ValueOrDie().gold.begin(), a.ValueOrDie().gold.end(),
+                        b.ValueOrDie().gold.begin(), b.ValueOrDie().gold.end(),
+                        std::back_inserter(expected));
+  EXPECT_EQ(gold, expected);
+  EXPECT_EQ(star.ValueOrDie().query.NumEdges(), 2u);
+}
+
+TEST_F(WorkloadTest, StarQueryRejectsCrossGroupIntents) {
+  // Intents 0-2 are group 0; intents 3-4 group 1.
+  EXPECT_FALSE(MakeStarQuery(*dataset_, {{0, 0}, {3, 0}}).ok());
+  EXPECT_FALSE(MakeStarQuery(*dataset_, {{0, 0}}).ok());
+}
+
+TEST_F(WorkloadTest, ComplexQueryHasThreeLegs) {
+  auto result = MakeComplexQuery(*dataset_, 0, 2, {{1, 0}, {2, 0}}, 0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryWithGold& q = result.ValueOrDie();
+  EXPECT_EQ(q.query.NumEdges(), 4u);  // 2 chain edges + 2 star edges
+  EXPECT_EQ(q.query.NumNodes(), 5u);
+  // Gold is a subset of each leg's gold.
+  auto leg = MakeIntentQuery(*dataset_, 1, 0);
+  ASSERT_TRUE(leg.ok());
+  for (NodeId u : q.gold) {
+    EXPECT_TRUE(std::binary_search(leg.ValueOrDie().gold.begin(),
+                                   leg.ValueOrDie().gold.end(), u));
+  }
+}
+
+TEST_F(WorkloadTest, NodeNoiseReplacesALabel) {
+  auto base = MakeIntentQuery(*dataset_, 0, 0);
+  ASSERT_TRUE(base.ok());
+  Rng rng(3);
+  int changed = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    QueryGraph noisy = base.ValueOrDie().query;
+    AddNodeNoise(*dataset_, &rng, &noisy);
+    const QueryGraph& orig = base.ValueOrDie().query;
+    bool differs = false;
+    for (size_t i = 0; i < orig.NumNodes(); ++i) {
+      if (orig.node(static_cast<int>(i)).type !=
+              noisy.node(static_cast<int>(i)).type ||
+          orig.node(static_cast<int>(i)).name !=
+              noisy.node(static_cast<int>(i)).name) {
+        differs = true;
+      }
+    }
+    if (differs) ++changed;
+    // Structure is preserved.
+    ASSERT_EQ(noisy.NumEdges(), orig.NumEdges());
+    ASSERT_EQ(noisy.NumNodes(), orig.NumNodes());
+  }
+  EXPECT_GT(changed, 15);  // labels nearly always change
+}
+
+TEST_F(WorkloadTest, EdgeNoiseReplacesPredicateWithSimilarOne) {
+  auto base = MakeIntentQuery(*dataset_, 0, 0);
+  ASSERT_TRUE(base.ok());
+  Rng rng(3);
+  int changed = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    QueryGraph noisy = base.ValueOrDie().query;
+    AddEdgeNoise(*dataset_, &rng, &noisy);
+    const std::string& orig_pred = base.ValueOrDie().query.edge(0).predicate;
+    const std::string& new_pred = noisy.edge(0).predicate;
+    if (new_pred != orig_pred) {
+      ++changed;
+      // Replacement must be among the top-10 similar predicates.
+      PredicateId p = dataset_->graph->FindPredicate(orig_pred);
+      auto top = dataset_->space->TopSimilar(p, 10);
+      bool found = false;
+      for (const auto& s : top) {
+        if (dataset_->graph->PredicateName(s.predicate) == new_pred) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << new_pred;
+    }
+  }
+  EXPECT_EQ(changed, 20);  // single-edge query: always replaced
+}
+
+}  // namespace
+}  // namespace kgsearch

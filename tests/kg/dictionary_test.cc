@@ -1,0 +1,58 @@
+#include "kg/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern("a"), 0u);
+  EXPECT_EQ(d.Intern("b"), 1u);
+  EXPECT_EQ(d.Intern("c"), 2u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  SymbolId a = d.Intern("alpha");
+  EXPECT_EQ(d.Intern("alpha"), a);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, LookupAndContains) {
+  Dictionary d;
+  d.Intern("x");
+  EXPECT_EQ(d.Lookup("x"), 0u);
+  EXPECT_EQ(d.Lookup("y"), kInvalidSymbol);
+  EXPECT_TRUE(d.Contains("x"));
+  EXPECT_FALSE(d.Contains("y"));
+}
+
+TEST(DictionaryTest, GetRoundTrips) {
+  Dictionary d;
+  std::vector<std::string> words = {"", "a", "hello world", "ümlaut",
+                                    std::string(10000, 'z')};
+  std::vector<SymbolId> ids;
+  for (const auto& w : words) ids.push_back(d.Intern(w));
+  for (size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(d.Get(ids[i]), words[i]);
+  }
+}
+
+TEST(DictionaryTest, StableUnderRehash) {
+  Dictionary d;
+  // Insert enough strings to force several rehashes of the index map.
+  for (int i = 0; i < 5000; ++i) {
+    d.Intern("key_" + std::to_string(i));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = "key_" + std::to_string(i);
+    SymbolId id = d.Lookup(key);
+    ASSERT_NE(id, kInvalidSymbol);
+    EXPECT_EQ(d.Get(id), key);
+  }
+}
+
+}  // namespace
+}  // namespace kgsearch

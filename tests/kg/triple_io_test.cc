@@ -1,0 +1,165 @@
+#include "kg/triple_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace kgsearch {
+namespace {
+
+TEST(NTriplesParserTest, ParsesBasicStatements) {
+  NTriplesParser parser(
+      "<http://kg/e/A> <http://kg/p/knows> <http://kg/e/B> .\n"
+      "# a comment\n"
+      "\n"
+      "<http://kg/e/A> <rdfs:label> \"Entity A\" .\n");
+  NTriplesStatement st;
+  bool done = false;
+  ASSERT_TRUE(parser.Next(&st, &done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_EQ(st.subject, "http://kg/e/A");
+  EXPECT_EQ(st.predicate, "http://kg/p/knows");
+  EXPECT_EQ(st.object, "http://kg/e/B");
+  EXPECT_FALSE(st.object_is_literal);
+
+  ASSERT_TRUE(parser.Next(&st, &done).ok());
+  ASSERT_FALSE(done);
+  EXPECT_TRUE(st.object_is_literal);
+  EXPECT_EQ(st.object, "Entity A");
+
+  ASSERT_TRUE(parser.Next(&st, &done).ok());
+  EXPECT_TRUE(done);
+}
+
+TEST(NTriplesParserTest, LiteralEscapes) {
+  NTriplesParser parser(
+      "<http://kg/e/A> <rdfs:label> \"a\\\"b\\\\c\\nd\\te\" .\n");
+  NTriplesStatement st;
+  bool done = false;
+  ASSERT_TRUE(parser.Next(&st, &done).ok());
+  EXPECT_EQ(st.object, "a\"b\\c\nd\te");
+}
+
+TEST(NTriplesParserTest, LanguageTagAndDatatypeAccepted) {
+  NTriplesParser parser(
+      "<http://kg/e/A> <rdfs:label> \"Auto\"@de .\n"
+      "<http://kg/e/A> <rdfs:label> \"42\"^^<http://xsd/int> .\n");
+  NTriplesStatement st;
+  bool done = false;
+  ASSERT_TRUE(parser.Next(&st, &done).ok());
+  EXPECT_EQ(st.object, "Auto");
+  ASSERT_TRUE(parser.Next(&st, &done).ok());
+  EXPECT_EQ(st.object, "42");
+}
+
+TEST(NTriplesParserTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* fragment;
+  };
+  const Case cases[] = {
+      {"<http://kg/e/A> <p> no_brackets .\n", "expected '<'"},
+      {"<http://kg/e/A\n", "unterminated IRI"},
+      {"<s> <p> \"unterminated .\n", "unterminated literal"},
+      {"<s> <p> <o>\n", "expected terminating '.'"},
+      {"<s> <p> \"bad\\x\" .\n", "unsupported escape"},
+  };
+  for (const Case& c : cases) {
+    NTriplesParser parser(c.text);
+    NTriplesStatement st;
+    bool done = false;
+    Status s = parser.Next(&st, &done);
+    ASSERT_FALSE(s.ok()) << c.text;
+    EXPECT_EQ(s.code(), StatusCode::kParseError);
+    EXPECT_NE(s.message().find("line 1"), std::string::npos) << s.message();
+    EXPECT_NE(s.message().find(c.fragment), std::string::npos) << s.message();
+  }
+}
+
+TEST(NTriplesGraphTest, ParseBuildsTypedGraph) {
+  const char* text =
+      "<http://kg/e/Audi> <rdf:type> <http://kg/t/Automobile> .\n"
+      "<http://kg/e/Audi> <http://kg/p/assembly> <http://kg/e/Germany> .\n"
+      "<http://kg/e/Germany> <rdf:type> <http://kg/t/Country> .\n";
+  auto result = ParseNTriples(text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const KnowledgeGraph& g = *result.ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.NodeTypeName(g.FindNode("Audi")), "Automobile");
+  EXPECT_EQ(g.NodeTypeName(g.FindNode("Germany")), "Country");
+}
+
+TEST(NTriplesGraphTest, TypeAfterUseStillApplies) {
+  const char* text =
+      "<http://kg/e/A> <http://kg/p/p> <http://kg/e/B> .\n"
+      "<http://kg/e/A> <rdf:type> <http://kg/t/Late> .\n";
+  auto result = ParseNTriples(text);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie()->NodeTypeName(
+                result.ValueOrDie()->FindNode("A")),
+            "Late");
+}
+
+TEST(NTriplesGraphTest, RoundTrip) {
+  KnowledgeGraph g;
+  NodeId a = g.AddNode("A", "T1");
+  NodeId b = g.AddNode("B", "T2");
+  NodeId c = g.AddNode("C", "T1");
+  g.AddEdge(a, "p", b);
+  g.AddEdge(b, "q", c);
+  g.Finalize();
+
+  std::string text = WriteNTriples(g);
+  auto parsed = ParseNTriples(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const KnowledgeGraph& g2 = *parsed.ValueOrDie();
+  EXPECT_EQ(g2.NumNodes(), 3u);
+  EXPECT_EQ(g2.NumEdges(), 2u);
+  EXPECT_EQ(g2.NodeTypeName(g2.FindNode("A")), "T1");
+  EXPECT_TRUE(g2.HasTriple(g2.FindNode("A"), g2.FindPredicate("p"),
+                           g2.FindNode("B")));
+}
+
+TEST(TsvTriplesTest, ParseAndRoundTrip) {
+  const char* text =
+      "A\ta\tT1\n"
+      "B\ta\tT2\n"
+      "# comment\n"
+      "A\tknows\tB\n";
+  auto result = ParseTsvTriples(text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const KnowledgeGraph& g = *result.ValueOrDie();
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NodeTypeName(g.FindNode("B")), "T2");
+
+  auto round = ParseTsvTriples(WriteTsvTriples(g));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.ValueOrDie()->NumEdges(), 1u);
+  EXPECT_EQ(round.ValueOrDie()->NumNodes(), 2u);
+}
+
+TEST(TsvTriplesTest, RejectsBadFieldCount) {
+  auto result = ParseTsvTriples("A\tB\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(FileIoTest, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/kgsearch_io_test.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.ValueOrDie(), "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIOError) {
+  auto read = ReadFileToString("/nonexistent/path/file.nt");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace kgsearch

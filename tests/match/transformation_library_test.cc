@@ -1,0 +1,99 @@
+#include "match/transformation_library.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+TEST(TransformationLibraryTest, IdenticalAlwaysFirst) {
+  TransformationLibrary lib;
+  auto r = lib.ResolveType("Automobile");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].canonical, "Automobile");
+  EXPECT_EQ(r[0].kind, MatchKind::kIdentical);
+}
+
+TEST(TransformationLibraryTest, SynonymResolution) {
+  TransformationLibrary lib;
+  lib.AddTypeSynonym("Car", "Automobile");
+  auto r = lib.ResolveType("Car");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].kind, MatchKind::kIdentical);
+  EXPECT_EQ(r[1].canonical, "Automobile");
+  EXPECT_EQ(r[1].kind, MatchKind::kSynonym);
+}
+
+TEST(TransformationLibraryTest, AbbreviationResolution) {
+  TransformationLibrary lib;
+  lib.AddNameAbbreviation("GER", "Germany");
+  auto r = lib.ResolveName("GER");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1].canonical, "Germany");
+  EXPECT_EQ(r[1].kind, MatchKind::kAbbreviation);
+}
+
+TEST(TransformationLibraryTest, AliasLookupIsCaseInsensitive) {
+  TransformationLibrary lib;
+  lib.AddTypeSynonym("Car", "Automobile");
+  EXPECT_EQ(lib.ResolveType("car").size(), 2u);
+  EXPECT_EQ(lib.ResolveType("CAR").size(), 2u);
+}
+
+TEST(TransformationLibraryTest, MultipleCanonicalsPerAlias) {
+  TransformationLibrary lib;
+  lib.AddNameSynonym("Georgia", "Georgia_country");
+  lib.AddNameSynonym("Georgia", "Georgia_US_state");
+  auto r = lib.ResolveName("Georgia");
+  EXPECT_EQ(r.size(), 3u);  // identical + two synonyms
+}
+
+TEST(TransformationLibraryTest, DuplicateRecordsIgnored) {
+  TransformationLibrary lib;
+  lib.AddTypeSynonym("Car", "Automobile");
+  lib.AddTypeSynonym("Car", "Automobile");
+  EXPECT_EQ(lib.NumTypeRecords(), 1u);
+}
+
+TEST(TransformationLibraryTest, NamesAndTypesAreSeparateScopes) {
+  TransformationLibrary lib;
+  lib.AddTypeSynonym("Car", "Automobile");
+  EXPECT_EQ(lib.ResolveName("Car").size(), 1u);  // identical only
+}
+
+TEST(TransformationLibraryTest, SerializeRoundTrip) {
+  TransformationLibrary lib;
+  lib.AddTypeSynonym("Car", "Automobile");
+  lib.AddTypeAbbreviation("Auto", "Automobile");
+  lib.AddNameAbbreviation("GER", "Germany");
+  lib.AddNameSynonym("Deutschland", "Germany");
+
+  auto parsed = TransformationLibrary::Deserialize(lib.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TransformationLibrary& lib2 = parsed.ValueOrDie();
+  EXPECT_EQ(lib2.NumTypeRecords(), 2u);
+  EXPECT_EQ(lib2.NumNameRecords(), 2u);
+  auto r = lib2.ResolveName("GER");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[1].canonical, "Germany");
+  EXPECT_EQ(r[1].kind, MatchKind::kAbbreviation);
+}
+
+TEST(TransformationLibraryTest, DeserializeErrors) {
+  EXPECT_FALSE(TransformationLibrary::Deserialize("too\tfew\n").ok());
+  EXPECT_FALSE(
+      TransformationLibrary::Deserialize("badkind\ttype\ta\tb\n").ok());
+  EXPECT_FALSE(
+      TransformationLibrary::Deserialize("synonym\tbadscope\ta\tb\n").ok());
+  // Comments and blanks are fine.
+  EXPECT_TRUE(TransformationLibrary::Deserialize("# comment\n\n").ok());
+}
+
+TEST(MatchKindTest, Names) {
+  EXPECT_STREQ(MatchKindName(MatchKind::kIdentical), "identical");
+  EXPECT_STREQ(MatchKindName(MatchKind::kSynonym), "synonym");
+  EXPECT_STREQ(MatchKindName(MatchKind::kAbbreviation), "abbreviation");
+  EXPECT_STREQ(MatchKindName(MatchKind::kNone), "none");
+}
+
+}  // namespace
+}  // namespace kgsearch

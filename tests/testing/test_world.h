@@ -1,0 +1,134 @@
+// Shared helpers for core-module tests: hand-built graphs with exactly
+// controlled predicate cosines, direct ResolvedSubQuery construction, and a
+// brute-force dynamic program that computes ground-truth best-pss walks for
+// the exact-state search mode.
+#ifndef KGSEARCH_TESTS_TESTING_TEST_WORLD_H_
+#define KGSEARCH_TESTS_TESTING_TEST_WORLD_H_
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/resolved_query.h"
+#include "embedding/predicate_space.h"
+#include "kg/graph.h"
+
+namespace kgsearch {
+namespace testing_helpers {
+
+/// Builds a predicate space where each predicate's cosine against the
+/// predicate named "q" is exactly the given value (2-D vectors). "q" itself
+/// is added automatically with cosine 1. Predicate ids follow the graph's.
+inline std::unique_ptr<PredicateSpace> MakeSpaceWithCosines(
+    const KnowledgeGraph& graph, const std::map<std::string, double>& cosines) {
+  std::vector<FloatVec> vecs(graph.NumPredicates());
+  std::vector<std::string> names(graph.NumPredicates());
+  for (PredicateId p = 0; p < graph.NumPredicates(); ++p) {
+    names[p] = std::string(graph.PredicateName(p));
+    double c = 1.0;
+    if (names[p] != "q") {
+      auto it = cosines.find(names[p]);
+      c = (it == cosines.end()) ? 0.0 : it->second;
+    }
+    vecs[p] = FloatVec{static_cast<float>(c),
+                       static_cast<float>(std::sqrt(std::max(
+                           0.0, 1.0 - c * c)))};
+    if (names[p] == "q") vecs[p] = FloatVec{1.0f, 0.0f};
+  }
+  return std::make_unique<PredicateSpace>(std::move(vecs), std::move(names));
+}
+
+/// Builds a single-edge ResolvedSubQuery from explicit pieces.
+inline ResolvedSubQuery MakeSingleEdgeSubQuery(const KnowledgeGraph& graph,
+                                               NodeId start,
+                                               const std::string& query_pred,
+                                               const std::string& target_type) {
+  ResolvedSubQuery sub;
+  sub.edge_predicates = {graph.FindPredicate(query_pred)};
+  NodeConstraint start_c;
+  start_c.specific = true;
+  start_c.nodes = {start};
+  NodeConstraint target_c;
+  target_c.specific = false;
+  target_c.types = {graph.FindType(target_type)};
+  sub.node_constraints = {start_c, target_c};
+  sub.start_candidates = {start};
+  return sub;
+}
+
+/// Ground truth for DedupMode::kExactState: per reachable target node, the
+/// best pss over all bounded walks satisfying the sub-query, via dynamic
+/// programming over states (node, stage, hops-in-stage) by total depth.
+inline std::map<NodeId, double> BruteForceBestPss(
+    const KnowledgeGraph& graph, const PredicateSpace& space,
+    const ResolvedSubQuery& sub, size_t n_hat, double tau) {
+  const size_t stages = sub.Length();
+  const size_t max_depth = n_hat * stages;
+  struct Key {
+    NodeId node;
+    size_t stage;
+    size_t hops;
+    bool operator<(const Key& o) const {
+      return std::tie(node, stage, hops) < std::tie(o.node, o.stage, o.hops);
+    }
+  };
+  // dp[depth][state] = best log weight sum.
+  std::map<Key, double> current;
+  for (NodeId us : sub.start_candidates) {
+    current[{us, 0, 0}] = 0.0;
+  }
+  std::map<NodeId, double> best;
+  for (size_t depth = 1; depth <= max_depth; ++depth) {
+    std::map<Key, double> next;
+    auto relax = [&next](const Key& k, double v) {
+      auto [it, inserted] = next.emplace(k, v);
+      if (!inserted && v > it->second) it->second = v;
+    };
+    for (const auto& [key, logsum] : current) {
+      // Target matches at the final stage are terminal in the search (goals
+      // are never expanded); mirror that here.
+      if (key.stage + 1 == stages && key.hops >= 1 &&
+          sub.node_constraints.back().Matches(graph, key.node)) {
+        continue;
+      }
+      // Continue the current stage.
+      if (key.hops < n_hat) {
+        for (const AdjEntry& adj : graph.Neighbors(key.node)) {
+          double w = space.Weight(sub.edge_predicates[key.stage],
+                                  adj.predicate);
+          relax({adj.neighbor, key.stage, key.hops + 1},
+                logsum + std::log(w));
+        }
+      }
+      // Advance to the next stage.
+      if (key.hops >= 1 && key.stage + 1 < stages &&
+          sub.node_constraints[key.stage + 1].Matches(graph, key.node)) {
+        for (const AdjEntry& adj : graph.Neighbors(key.node)) {
+          double w = space.Weight(sub.edge_predicates[key.stage + 1],
+                                  adj.predicate);
+          relax({adj.neighbor, key.stage + 1, 1}, logsum + std::log(w));
+        }
+      }
+    }
+    for (const auto& [key, logsum] : next) {
+      if (key.stage + 1 == stages &&
+          sub.node_constraints.back().Matches(graph, key.node)) {
+        const double pss = std::exp(logsum / static_cast<double>(depth));
+        if (pss >= tau - 1e-12) {
+          auto [it, inserted] = best.emplace(key.node, pss);
+          if (!inserted && pss > it->second) it->second = pss;
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  return best;
+}
+
+}  // namespace testing_helpers
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_TESTS_TESTING_TEST_WORLD_H_

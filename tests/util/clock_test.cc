@@ -1,0 +1,35 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+TEST(ManualClockTest, AdvancesExplicitly) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.AdvanceMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SetMicros(42);
+  EXPECT_EQ(clock.NowMicros(), 42);
+}
+
+TEST(SystemClockTest, Monotone) {
+  const SystemClock* clock = SystemClock::Default();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(StopWatchTest, MeasuresManualClock) {
+  ManualClock clock(0);
+  StopWatch watch(&clock);
+  clock.AdvanceMicros(2500);
+  EXPECT_EQ(watch.ElapsedMicros(), 2500);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 2.5);
+  watch.Restart();
+  EXPECT_EQ(watch.ElapsedMicros(), 0);
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,63 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace kgsearch {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  auto f = Split("a\tb\tc", '\t');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto f = Split(",a,,b,", ',');
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[2], "");
+  EXPECT_EQ(f[4], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWhole) {
+  auto f = Split("abc", ',');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "abc");
+}
+
+TEST(TrimTest, StripsAllWhitespaceKinds) {
+  EXPECT_EQ(Trim("  x \t\r\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("AbC123xYz"), "abc123xyz");
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("http://kg/e/X", "http://kg/e/"));
+  EXPECT_FALSE(StartsWith("http", "http://"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+  // Long output beyond any small-string buffer.
+  std::string long_out = StrFormat("%0512d", 1);
+  EXPECT_EQ(long_out.size(), 512u);
+}
+
+}  // namespace
+}  // namespace kgsearch

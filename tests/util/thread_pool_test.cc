@@ -1,0 +1,65 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace kgsearch {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DrainsOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, FutureDeliversExceptionlessCompletion) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([] {});
+  f.get();  // must not hang or throw
+  SUCCEED();
+}
+
+TEST(RunParallelTest, InlineWhenSingleThread) {
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  RunParallel(std::move(tasks), 1);
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(RunParallelTest, ParallelCompletesAll) {
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  RunParallel(std::move(tasks), 8);
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(RunParallelTest, EmptyIsNoop) {
+  RunParallel({}, 4);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace kgsearch

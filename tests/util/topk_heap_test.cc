@@ -1,0 +1,95 @@
+#include "util/topk_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace kgsearch {
+namespace {
+
+TEST(TopKHeapTest, KeepsBestK) {
+  TopKHeap<int> heap(3);
+  for (int i = 0; i < 10; ++i) heap.Push(static_cast<double>(i), i);
+  auto out = heap.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].second, 9);
+  EXPECT_EQ(out[1].second, 8);
+  EXPECT_EQ(out[2].second, 7);
+}
+
+TEST(TopKHeapTest, FewerThanKKept) {
+  TopKHeap<int> heap(5);
+  heap.Push(1.0, 1);
+  heap.Push(2.0, 2);
+  auto out = heap.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, 2);
+}
+
+TEST(TopKHeapTest, ZeroCapacityKeepsNothing) {
+  TopKHeap<int> heap(0);
+  heap.Push(1.0, 1);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_TRUE(heap.TakeSortedDescending().empty());
+}
+
+TEST(TopKHeapTest, TieBrokenByInsertionOrder) {
+  TopKHeap<std::string> heap(2);
+  heap.Push(1.0, "first");
+  heap.Push(1.0, "second");
+  heap.Push(1.0, "third");  // rejected: same score, later arrival
+  auto out = heap.TakeSortedDescending();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].second, "first");
+  EXPECT_EQ(out[1].second, "second");
+}
+
+TEST(TopKHeapTest, WouldRejectReflectsThreshold) {
+  TopKHeap<int> heap(2);
+  EXPECT_FALSE(heap.WouldReject(0.1));
+  heap.Push(0.5, 1);
+  EXPECT_FALSE(heap.WouldReject(0.1));  // not yet full
+  heap.Push(0.7, 2);
+  EXPECT_TRUE(heap.WouldReject(0.4));
+  EXPECT_TRUE(heap.WouldReject(0.5));  // ties lose to incumbents
+  EXPECT_FALSE(heap.WouldReject(0.6));
+}
+
+TEST(TopKHeapTest, MinScoreTracksWorstRetained) {
+  TopKHeap<int> heap(2);
+  heap.Push(0.9, 1);
+  heap.Push(0.4, 2);
+  EXPECT_DOUBLE_EQ(heap.MinScore(), 0.4);
+  heap.Push(0.8, 3);
+  EXPECT_DOUBLE_EQ(heap.MinScore(), 0.8);
+}
+
+class TopKHeapSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TopKHeapSweep, MatchesSortReference) {
+  const size_t k = GetParam();
+  Rng rng(k * 7919 + 1);
+  std::vector<double> scores;
+  TopKHeap<size_t> heap(k);
+  for (size_t i = 0; i < 500; ++i) {
+    double s = rng.UniformReal();
+    scores.push_back(s);
+    heap.Push(s, i);
+  }
+  std::vector<double> sorted = scores;
+  std::sort(sorted.rbegin(), sorted.rend());
+  auto out = heap.TakeSortedDescending();
+  ASSERT_EQ(out.size(), std::min(k, scores.size()));
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].first, sorted[i]) << "rank " << i;
+    EXPECT_DOUBLE_EQ(out[i].first, scores[out[i].second]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, TopKHeapSweep,
+                         ::testing::Values(1, 2, 5, 16, 100, 499, 500, 1000));
+
+}  // namespace
+}  // namespace kgsearch
