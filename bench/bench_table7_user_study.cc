@@ -59,7 +59,6 @@ int Run() {
   size_t strong = 0, medium = 0;
   for (const StudyQuery& sq : queries) {
     const GeneratedDataset& ds = *sq.ds;
-    MethodContext context{ds.graph.get(), ds.space.get(), &ds.library};
     SgqEngine engine(ds.graph.get(), ds.space.get(), &ds.library);
     EngineOptions options;
     options.k = sq.query.gold.size();

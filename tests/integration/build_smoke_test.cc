@@ -1,0 +1,48 @@
+// Build-level smoke test: generates a tiny synthetic KG, runs the full
+// SgqEngine pipeline end-to-end for top-k=3, and checks that ranked,
+// non-empty results come back. Guards the whole pipeline wiring (generator
+// -> graph -> predicate space -> decomposition -> A* -> TA assembly), not
+// any single unit.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "gen/synthetic_kg.h"
+#include "gen/workload.h"
+
+namespace kgsearch {
+namespace {
+
+TEST(BuildSmokeTest, TinyDatasetEndToEndTopK3) {
+  // ~0.05 scale keeps generation well under a second.
+  auto generated = GenerateDataset(DbpediaLikeSpec(0.05, 7));
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  const GeneratedDataset& ds = *generated.ValueOrDie();
+  ASSERT_GT(ds.graph->NumNodes(), 0u);
+  ASSERT_GT(ds.graph->NumEdges(), 0u);
+  ASSERT_FALSE(ds.intents.empty());
+
+  auto q = MakeIntentQuery(ds, 0, 0);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+
+  SgqEngine engine(ds.graph.get(), ds.space.get(), &ds.library);
+  EngineOptions options;
+  options.k = 3;
+  auto result = engine.Query(q.ValueOrDie().query, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const QueryResult& r = result.ValueOrDie();
+  ASSERT_FALSE(r.matches.empty());
+  EXPECT_LE(r.matches.size(), 3u);
+  // Results are ranked: scores must be non-increasing.
+  for (size_t i = 1; i < r.matches.size(); ++i) {
+    EXPECT_LE(r.matches[i].score, r.matches[i - 1].score) << "rank " << i;
+  }
+  // Every answer refers to a real node.
+  for (NodeId u : r.AnswerIds()) {
+    EXPECT_LT(u, ds.graph->NumNodes());
+    EXPECT_FALSE(ds.graph->NodeName(u).empty());
+  }
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
 
 namespace kgsearch {
 namespace {
@@ -27,6 +30,31 @@ TEST(ThreadPoolTest, DrainsOnDestruction) {
     }
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedButUnstartedWork) {
+  // A gate task occupies the pool's only worker, so the 32 tasks behind it
+  // are provably queued-but-unstarted. The gate opens only after the
+  // destructor has begun shutting down, which must still drain all of them.
+  std::promise<void> gate;
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  auto pool = std::make_unique<ThreadPool>(1);
+  futures.push_back(
+      pool->Submit([&gate] { gate.get_future().wait(); }));
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool->Submit([&ran] { ran.fetch_add(1); }));
+  }
+  std::thread releaser([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate.set_value();
+  });
+  pool.reset();  // joins workers; must run the 32 queued tasks first
+  releaser.join();
+  EXPECT_EQ(ran.load(), 32);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
 }
 
 TEST(ThreadPoolTest, FutureDeliversExceptionlessCompletion) {
