@@ -1,0 +1,153 @@
+// Concurrent serving throughput of QueryService over one shared executor.
+//
+// Fires the standard mixed workload (simple + star queries) at the service
+// from an increasing number of client threads and reports QPS, latency
+// percentiles, and cache hit rates as JSON — the BENCH_service_throughput
+// record tracking the concurrency trajectory across PRs. A correctness
+// gate compares every concurrent answer set against serial SgqEngine
+// execution before any number is reported.
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "eval/harness.h"
+#include "gen/synthetic_kg.h"
+#include "service/query_service.h"
+
+namespace kgsearch {
+namespace {
+
+struct LoadPoint {
+  size_t clients = 0;
+  size_t queries = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+  double decomp_hit_rate = 0.0;
+  double matcher_hit_rate = 0.0;
+};
+
+int Run() {
+  auto generated = GenerateDataset(DbpediaLikeSpec(0.5, 42));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const GeneratedDataset& ds = *generated.ValueOrDie();
+  const std::vector<QueryWithGold> workload = MakeStandardWorkload(ds, 8);
+  if (workload.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  EngineOptions options;
+  options.k = 20;
+
+  // Serial reference answers (threads = 1) for the correctness gate.
+  SgqEngine serial(ds.graph.get(), ds.space.get(), &ds.library);
+  std::vector<std::vector<NodeId>> reference;
+  for (const QueryWithGold& q : workload) {
+    EngineOptions o = options;
+    o.threads = 1;
+    auto r = serial.Query(q.query, o);
+    if (!r.ok()) {
+      std::fprintf(stderr, "serial %s: %s\n", q.description.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    reference.push_back(r.ValueOrDie().AnswerIds());
+  }
+
+  const size_t rounds_per_client = 4;
+  std::vector<LoadPoint> points;
+  size_t pool_threads = 0;
+  for (size_t clients : {1, 2, 4, 8, 16}) {
+    // num_threads = 0: size the shared pool to the hardware.
+    QueryService service(ds.graph.get(), ds.space.get(), &ds.library);
+    pool_threads = service.num_threads();
+
+    size_t mismatches = 0;
+    StopWatch watch;
+    {
+      std::vector<std::thread> threads;
+      std::mutex mismatch_mutex;
+      for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          size_t local_mismatches = 0;
+          for (size_t round = 0; round < rounds_per_client; ++round) {
+            for (size_t i = 0; i < workload.size(); ++i) {
+              const size_t w = (i + c) % workload.size();
+              auto r = service.Query(workload[w].query, options);
+              if (!r.ok() ||
+                  r.ValueOrDie().AnswerIds() != reference[w]) {
+                ++local_mismatches;
+              }
+            }
+          }
+          std::lock_guard<std::mutex> lock(mismatch_mutex);
+          mismatches += local_mismatches;
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double wall = static_cast<double>(watch.ElapsedMicros()) / 1e6;
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "correctness gate failed: %zu mismatched answers at "
+                   "%zu clients\n",
+                   mismatches, clients);
+      return 1;
+    }
+
+    const ServiceStatsSnapshot stats = service.Stats();
+    LoadPoint p;
+    p.clients = clients;
+    p.queries = stats.queries_total;
+    p.wall_seconds = wall;
+    p.qps = wall > 0.0 ? static_cast<double>(stats.queries_total) / wall : 0.0;
+    p.p50_ms = stats.latency_p50_ms;
+    p.p95_ms = stats.latency_p95_ms;
+    p.max_ms = stats.latency_max_ms;
+    p.decomp_hit_rate = stats.decomposition_cache_hit_rate();
+    p.matcher_hit_rate = stats.matcher_cache_hit_rate();
+    points.push_back(p);
+    std::fprintf(stderr,
+                 "clients=%2zu queries=%4zu wall=%6.2fs qps=%8.1f "
+                 "p50=%6.2fms p95=%6.2fms\n",
+                 p.clients, p.queries, p.wall_seconds, p.qps, p.p50_ms,
+                 p.p95_ms);
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_service_throughput\",\n");
+  std::printf("  \"dataset\": {\"nodes\": %zu, \"edges\": %zu},\n",
+              ds.graph->NumNodes(), ds.graph->NumEdges());
+  std::printf("  \"workload_queries\": %zu,\n", workload.size());
+  std::printf("  \"k\": %zu,\n", options.k);
+  std::printf("  \"pool_threads\": %zu,\n", pool_threads);
+  std::printf("  \"correctness_gate\": \"all answers identical to serial "
+              "SgqEngine\",\n");
+  std::printf("  \"load_points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    std::printf("    {\"clients\": %zu, \"queries\": %zu, "
+                "\"wall_seconds\": %.3f, \"qps\": %.1f, \"p50_ms\": %.3f, "
+                "\"p95_ms\": %.3f, \"max_ms\": %.3f, "
+                "\"decomposition_cache_hit_rate\": %.3f, "
+                "\"matcher_cache_hit_rate\": %.3f}%s\n",
+                p.clients, p.queries, p.wall_seconds, p.qps, p.p50_ms,
+                p.p95_ms, p.max_ms, p.decomp_hit_rate, p.matcher_hit_rate,
+                i + 1 < points.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgsearch
+
+int main() { return kgsearch::Run(); }

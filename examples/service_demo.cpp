@@ -1,0 +1,130 @@
+// Serving demo: one QueryService multiplexing a burst of concurrent SGQ
+// and TBQ queries over a shared thread pool, then reporting its counters —
+// the interactive-engine deployment shape the paper targets (many users,
+// bounded response times).
+//
+//   $ ./example_service_demo [--threads N] [--clients C] [--rounds R]
+//
+// Each client thread behaves like one user session: it fires the four Q117
+// query variants synchronously, plus an async time-bounded variant, and
+// checks every answer against the single-user reference.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "gen/car_domain.h"
+#include "service/query_service.h"
+
+using namespace kgsearch;
+
+int main(int argc, char** argv) {
+  size_t threads = std::thread::hardware_concurrency();
+  size_t clients = 8;
+  size_t rounds = 3;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      clients = static_cast<size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      rounds = static_cast<size_t>(std::atoi(argv[i + 1]));
+    }
+  }
+
+  auto dataset = MakeCarDomainDataset(300, 117);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const GeneratedDataset& ds = *dataset.ValueOrDie();
+  std::printf("car-domain KG: %zu nodes, %zu edges\n", ds.graph->NumNodes(),
+              ds.graph->NumEdges());
+
+  QueryServiceOptions soptions;
+  soptions.num_threads = threads;
+  QueryService service(ds.graph.get(), ds.space.get(), &ds.library,
+                       soptions);
+  std::printf("service up: %zu pool threads, %zu clients x %zu rounds\n\n",
+              service.num_threads(), clients, rounds);
+
+  EngineOptions options;
+  options.k = 10;
+
+  // Single-user reference answers for the four query variants.
+  std::vector<std::vector<NodeId>> reference;
+  for (int variant = 1; variant <= 4; ++variant) {
+    auto r = service.Query(MakeQ117Variant(variant), options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "variant %d: %s\n", variant,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    reference.push_back(r.ValueOrDie().AnswerIds());
+    std::printf("Q117 variant %d: %zu answers, top answer %s\n", variant,
+                reference.back().size(),
+                reference.back().empty()
+                    ? "-"
+                    : std::string(ds.graph->NodeName(reference.back()[0]))
+                          .c_str());
+  }
+
+  TimeBoundedOptions toptions;
+  toptions.k = 10;
+  toptions.time_bound_micros = 20'000;  // 20ms interactive budget
+
+  std::vector<std::thread> sessions;
+  std::vector<size_t> mismatches(clients, 0);
+  std::vector<size_t> tbq_answer_counts(clients, 0);
+  for (size_t c = 0; c < clients; ++c) {
+    sessions.emplace_back([&, c] {
+      for (size_t round = 0; round < rounds; ++round) {
+        // An async TBQ query rides along with the synchronous SGQ traffic.
+        auto tbq_future =
+            service.SubmitTimeBounded(MakeQ117Variant(3), toptions);
+        for (int variant = 1; variant <= 4; ++variant) {
+          auto r = service.Query(MakeQ117Variant(variant), options);
+          if (!r.ok() || r.ValueOrDie().AnswerIds() !=
+                             reference[static_cast<size_t>(variant - 1)]) {
+            ++mismatches[c];
+          }
+        }
+        auto tbq = tbq_future.get();
+        if (tbq.ok()) {
+          tbq_answer_counts[c] += tbq.ValueOrDie().matches.size();
+        }
+      }
+    });
+  }
+  for (auto& s : sessions) s.join();
+
+  size_t total_mismatches = 0;
+  for (size_t m : mismatches) total_mismatches += m;
+  std::printf("\nall sessions done; answer mismatches vs. reference: %zu\n",
+              total_mismatches);
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  std::printf("\n-- service counters --\n");
+  std::printf("queries total      %llu (SGQ %llu, TBQ %llu; failed %llu)\n",
+              static_cast<unsigned long long>(stats.queries_total),
+              static_cast<unsigned long long>(stats.sgq_queries),
+              static_cast<unsigned long long>(stats.tbq_queries),
+              static_cast<unsigned long long>(stats.queries_failed));
+  std::printf("qps                %.1f over %.2fs uptime\n", stats.qps,
+              stats.uptime_seconds);
+  std::printf("latency            p50 %.2fms  p95 %.2fms  max %.2fms\n",
+              stats.latency_p50_ms, stats.latency_p95_ms,
+              stats.latency_max_ms);
+  std::printf("decomposition cache %.0f%% hit rate (%llu hits)\n",
+              100.0 * stats.decomposition_cache_hit_rate(),
+              static_cast<unsigned long long>(stats.decomposition_cache_hits));
+  std::printf("matcher cache       %.0f%% hit rate (%llu hits)\n",
+              100.0 * stats.matcher_cache_hit_rate(),
+              static_cast<unsigned long long>(stats.matcher_cache_hits));
+  std::printf("queue depth        %zu, in flight %zu\n", stats.queue_depth,
+              stats.in_flight);
+  return total_mismatches == 0 ? 0 : 1;
+}

@@ -7,6 +7,17 @@
 
 namespace kgsearch {
 
+DecomposeOptions MakeDecomposeOptions(const KnowledgeGraph& graph,
+                                      PivotStrategy strategy, size_t n_hat,
+                                      uint64_t seed) {
+  DecomposeOptions dopts;
+  dopts.strategy = strategy;
+  dopts.avg_degree = graph.AverageDegree();
+  dopts.n_hat = n_hat;
+  dopts.seed = seed;
+  return dopts;
+}
+
 std::vector<NodeId> ExtractAnswers(const std::vector<FinalMatch>& matches,
                                    const Decomposition& decomposition,
                                    int query_node) {
@@ -53,12 +64,9 @@ SgqEngine::SgqEngine(const KnowledgeGraph* graph, const PredicateSpace* space,
 
 Result<QueryResult> SgqEngine::Query(const QueryGraph& query,
                                      const EngineOptions& options) const {
-  DecomposeOptions dopts;
-  dopts.strategy = options.pivot_strategy;
-  dopts.avg_degree = graph_->AverageDegree();
-  dopts.n_hat = options.n_hat;
-  dopts.seed = options.seed;
-  Result<Decomposition> decomposition = DecomposeQuery(query, dopts);
+  Result<Decomposition> decomposition = DecomposeQuery(
+      query, MakeDecomposeOptions(*graph_, options.pivot_strategy,
+                                  options.n_hat, options.seed));
   if (!decomposition.ok()) return decomposition.status();
   return QueryDecomposed(query, decomposition.ValueOrDie(), options);
 }
@@ -111,8 +119,12 @@ Result<QueryResult> SgqEngine::QueryDecomposed(
         }
       });
     }
-    size_t threads = options.threads == 0 ? n : options.threads;
-    RunParallel(std::move(tasks), threads);
+    if (options.executor != nullptr) {
+      RunOnPool(options.executor, std::move(tasks));
+    } else {
+      size_t threads = options.threads == 0 ? n : options.threads;
+      RunParallel(std::move(tasks), threads);
+    }
     for (const Status& s : statuses) KG_RETURN_NOT_OK(s);
 
     Result<std::vector<FinalMatch>> assembled =

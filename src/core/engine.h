@@ -17,12 +17,20 @@
 
 namespace kgsearch {
 
+class ThreadPool;  // util/thread_pool.h; only a pointer is stored here
+
 /// Tuning knobs for a semantic-guided query.
 struct EngineOptions {
   size_t k = 10;           ///< final top-k
   double tau = 0.8;        ///< pss threshold τ
   size_t n_hat = 4;        ///< desired hops per query edge n̂
-  size_t threads = 0;      ///< 0 = one per sub-query
+  size_t threads = 0;      ///< 0 = one per sub-query (ignored with executor)
+  /// Non-owning shared executor. When set, sub-query searches run as a
+  /// caller-participating batch on this pool (RunOnPool) instead of
+  /// spawning per-query threads; many concurrent queries can then share one
+  /// process-wide pool. Results are identical either way: each sub-query
+  /// search is deterministic and writes to its own slot.
+  ThreadPool* executor = nullptr;
   PivotStrategy pivot_strategy = PivotStrategy::kMinCost;
   uint64_t seed = 42;      ///< used by kRandom pivot selection
   /// Collect budget_factor*k matches per sub-query before assembly (the
@@ -57,6 +65,14 @@ struct QueryResult {
   }
 };
 
+/// Decomposition knobs implied by engine options over a concrete graph.
+/// Both SgqEngine::Query and the serving layer's decomposition cache derive
+/// their DecomposeQuery call from this one mapping, so a cached
+/// decomposition is bit-identical to a freshly computed one.
+DecomposeOptions MakeDecomposeOptions(const KnowledgeGraph& graph,
+                                      PivotStrategy strategy, size_t n_hat,
+                                      uint64_t seed);
+
 /// Extracts the KG matches of query node `query_node` from final matches,
 /// deduplicated and in rank order. Works for any query node covered by the
 /// decomposition (the pivot is just `FinalMatch::pivot_match`).
@@ -85,6 +101,9 @@ class SgqEngine {
   const KnowledgeGraph& graph() const { return *graph_; }
   const PredicateSpace& space() const { return *space_; }
   const NodeMatcher& matcher() const { return matcher_; }
+  /// For pre-serving configuration (e.g. installing a shared candidate
+  /// cache); must not be called while queries are in flight.
+  NodeMatcher* mutable_matcher() { return &matcher_; }
 
  private:
   const KnowledgeGraph* graph_;

@@ -48,6 +48,16 @@ double TbqEngine::CalibrateAssemblyCostMicros(const Clock* clock) {
 
 Result<TimeBoundedResult> TbqEngine::Query(
     const QueryGraph& query, const TimeBoundedOptions& options) const {
+  Result<Decomposition> decomposition = DecomposeQuery(
+      query, MakeDecomposeOptions(*graph_, options.pivot_strategy,
+                                  options.n_hat, options.seed));
+  if (!decomposition.ok()) return decomposition.status();
+  return QueryDecomposed(query, decomposition.ValueOrDie(), options);
+}
+
+Result<TimeBoundedResult> TbqEngine::QueryDecomposed(
+    const QueryGraph& query, const Decomposition& decomposition,
+    const TimeBoundedOptions& options) const {
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
   if (options.time_bound_micros <= 0) {
     return Status::InvalidArgument("time bound must be positive");
@@ -57,17 +67,10 @@ Result<TimeBoundedResult> TbqEngine::Query(
   double t_micros = options.per_match_assembly_micros;
   if (t_micros <= 0.0) t_micros = CalibrateAssemblyCostMicros(clock_);
 
-  DecomposeOptions dopts;
-  dopts.strategy = options.pivot_strategy;
-  dopts.avg_degree = graph_->AverageDegree();
-  dopts.n_hat = options.n_hat;
-  dopts.seed = options.seed;
-  Result<Decomposition> decomposition = DecomposeQuery(query, dopts);
-  if (!decomposition.ok()) return decomposition.status();
-
   TimeBoundedResult result;
-  result.decomposition = decomposition.ValueOrDie();
+  result.decomposition = decomposition;
   const size_t n = result.decomposition.subqueries.size();
+  KG_CHECK(n > 0);
 
   std::vector<ResolvedSubQuery> resolved;
   resolved.reserve(n);
@@ -137,8 +140,12 @@ Result<TimeBoundedResult> TbqEngine::Query(
       }
     });
   }
-  size_t threads = options.threads == 0 ? n : options.threads;
-  RunParallel(std::move(tasks), threads);
+  if (options.executor != nullptr) {
+    RunOnPool(options.executor, std::move(tasks));
+  } else {
+    size_t threads = options.threads == 0 ? n : options.threads;
+    RunParallel(std::move(tasks), threads);
+  }
   for (const Status& s : statuses) KG_RETURN_NOT_OK(s);
 
   for (const SearchStats& s : result.subquery_stats) {

@@ -21,7 +21,11 @@ struct TimeBoundedOptions {
   size_t k = 10;
   double tau = 0.8;
   size_t n_hat = 4;
-  size_t threads = 0;  ///< 0 = one per sub-query
+  size_t threads = 0;  ///< 0 = one per sub-query (ignored with executor)
+  /// Non-owning shared executor; see EngineOptions::executor. Note that
+  /// under a tight bound the stop decision depends on real interleaving, so
+  /// only generously-bounded runs are reproducible across executors.
+  ThreadPool* executor = nullptr;
   PivotStrategy pivot_strategy = PivotStrategy::kMinCost;
   uint64_t seed = 42;
 
@@ -75,9 +79,20 @@ class TbqEngine {
   Result<TimeBoundedResult> Query(const QueryGraph& query,
                                   const TimeBoundedOptions& options) const;
 
+  /// Runs with a caller-supplied decomposition (e.g. a cached plan from the
+  /// serving layer). Mirrors SgqEngine::QueryDecomposed.
+  Result<TimeBoundedResult> QueryDecomposed(
+      const QueryGraph& query, const Decomposition& decomposition,
+      const TimeBoundedOptions& options) const;
+
   /// Measures the per-match TA assembly cost t on this machine by timing a
   /// simulated assembly (Algorithm 3's "empirical time"). Exposed for tests.
   static double CalibrateAssemblyCostMicros(const Clock* clock);
+
+  const NodeMatcher& matcher() const { return matcher_; }
+  /// For pre-serving configuration (e.g. installing a shared candidate
+  /// cache); must not be called while queries are in flight.
+  NodeMatcher* mutable_matcher() { return &matcher_; }
 
  private:
   const KnowledgeGraph* graph_;

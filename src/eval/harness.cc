@@ -49,6 +49,59 @@ MethodRun RunMethodOnWorkload(const GraphQueryMethod& method,
   return run;
 }
 
+MethodRun RunServiceOnWorkload(QueryService* service,
+                               const std::vector<QueryWithGold>& workload,
+                               size_t k, const EngineOptions& options,
+                               size_t concurrency, const Clock* clock) {
+  MethodRun run;
+  run.method = "SGQ-service";
+  if (workload.empty()) return run;
+  if (concurrency == 0) concurrency = 1;
+
+  std::vector<double> ps, rs, f1s, times;
+  for (size_t base = 0; base < workload.size(); base += concurrency) {
+    const size_t end = std::min(workload.size(), base + concurrency);
+
+    // Submit the whole wave, then resolve in submission order; measured
+    // times are an upper bound per query (see header comment).
+    std::vector<std::future<Result<QueryResult>>> futures;
+    std::vector<StopWatch> watches;
+    for (size_t i = base; i < end; ++i) {
+      const QueryWithGold& q = workload[i];
+      EngineOptions o = options;
+      o.k = (k == 0) ? q.gold.size() : k;
+      watches.emplace_back(clock);
+      futures.push_back(service->Submit(q.query, o));
+    }
+    for (size_t i = base; i < end; ++i) {
+      const QueryWithGold& q = workload[i];
+      Result<QueryResult> r = futures[i - base].get();
+      times.push_back(watches[i - base].ElapsedMillis());
+      if (!r.ok()) {
+        ++run.queries_failed;
+        ps.push_back(0.0);
+        rs.push_back(0.0);
+        f1s.push_back(0.0);
+        continue;
+      }
+      const QueryResult& result = r.ValueOrDie();
+      Prf prf = ComputePrf(
+          ExtractAnswers(result.matches, result.decomposition, q.answer_node),
+          q.gold);
+      ps.push_back(prf.precision);
+      rs.push_back(prf.recall);
+      f1s.push_back(prf.f1);
+    }
+  }
+  run.precision = Mean(ps);
+  run.recall = Mean(rs);
+  run.f1 = Mean(f1s);
+  run.avg_ms = Mean(times);
+  run.min_ms = *std::min_element(times.begin(), times.end());
+  run.max_ms = *std::max_element(times.begin(), times.end());
+  return run;
+}
+
 std::vector<std::unique_ptr<GraphQueryMethod>> MakeComparisonMethods(
     const GeneratedDataset& ds, const EngineOptions& sgq_options,
     double s4_prior_fraction) {

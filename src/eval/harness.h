@@ -12,6 +12,7 @@
 #include "baselines/method.h"
 #include "eval/metrics.h"
 #include "gen/workload.h"
+#include "service/query_service.h"
 #include "util/clock.h"
 
 namespace kgsearch {
@@ -35,6 +36,20 @@ MethodRun RunMethodOnWorkload(const GraphQueryMethod& method,
                               const std::vector<QueryWithGold>& workload,
                               size_t k,
                               const Clock* clock = SystemClock::Default());
+
+/// Runs a workload through a QueryService (SGQ mode), submitting
+/// `concurrency` queries at a time over the shared executor. Effectiveness
+/// metrics are computed exactly as in RunMethodOnWorkload. Per-query time
+/// is wall time from submission until the future is observed resolved;
+/// futures are drained in submission order, so a fast query queued behind
+/// a slow wave-mate reads as the slow one's latency — treat avg/max as an
+/// upper bound under load (QueryService::Stats() has the true per-query
+/// histogram). The method label is "SGQ-service".
+MethodRun RunServiceOnWorkload(QueryService* service,
+                               const std::vector<QueryWithGold>& workload,
+                               size_t k, const EngineOptions& options,
+                               size_t concurrency = 8,
+                               const Clock* clock = SystemClock::Default());
 
 /// The comparison roster of Figures 12-14: SGQ, GraB, S4, QGA, p-hom.
 /// S4's prior knowledge is mined from `prior_fraction` of each intent's

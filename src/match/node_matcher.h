@@ -3,13 +3,31 @@
 #ifndef KGSEARCH_MATCH_NODE_MATCHER_H_
 #define KGSEARCH_MATCH_NODE_MATCHER_H_
 
+#include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "kg/graph.h"
 #include "match/transformation_library.h"
+#include "util/lru_cache.h"
 
 namespace kgsearch {
+
+/// Shared memo of φ candidate lists. The graph and library are immutable
+/// after construction, so cached lists never go stale; one cache can back
+/// every matcher over the same (graph, library) pair — the serving layer
+/// installs one instance into both the SGQ and TBQ engines.
+struct MatcherCandidateCache {
+  explicit MatcherCandidateCache(size_t capacity)
+      : by_name(capacity), by_type(capacity) {}
+
+  LruCache<std::string, std::vector<NodeId>> by_name;
+  LruCache<std::string, std::vector<NodeId>> by_type;
+
+  uint64_t hits() const { return by_name.hits() + by_type.hits(); }
+  uint64_t misses() const { return by_name.misses() + by_type.misses(); }
+};
 
 /// Resolves query node labels to knowledge-graph node candidates.
 ///
@@ -23,14 +41,27 @@ class NodeMatcher {
     KG_CHECK(graph != nullptr && library != nullptr);
   }
 
+  /// Installs (or clears, with null) a candidate-list cache. The cache may
+  /// be shared across matchers over the same graph + library.
+  void set_candidate_cache(std::shared_ptr<MatcherCandidateCache> cache) {
+    cache_ = std::move(cache);
+  }
+  const std::shared_ptr<MatcherCandidateCache>& candidate_cache() const {
+    return cache_;
+  }
+
   /// φ for a specific node: KG nodes whose (unique) name resolves from
   /// `query_name`. Empty when nothing matches.
   std::vector<NodeId> MatchByName(std::string_view query_name) const {
     std::vector<NodeId> out;
+    if (cache_ && cache_->by_name.Get(std::string(query_name), &out)) {
+      return out;
+    }
     for (const Resolution& r : library_->ResolveName(query_name)) {
       NodeId u = graph_->FindNode(r.canonical);
       if (u != kInvalidNode) out.push_back(u);
     }
+    if (cache_) cache_->by_name.Put(std::string(query_name), out);
     return out;
   }
 
@@ -47,10 +78,14 @@ class NodeMatcher {
   /// φ for a target node: all KG nodes whose type resolves from `query_type`.
   std::vector<NodeId> MatchByType(std::string_view query_type) const {
     std::vector<NodeId> out;
+    if (cache_ && cache_->by_type.Get(std::string(query_type), &out)) {
+      return out;
+    }
     for (TypeId t : MatchTypes(query_type)) {
       auto members = graph_->NodesOfType(t);
       out.insert(out.end(), members.begin(), members.end());
     }
+    if (cache_) cache_->by_type.Put(std::string(query_type), out);
     return out;
   }
 
@@ -60,6 +95,7 @@ class NodeMatcher {
  private:
   const KnowledgeGraph* graph_;
   const TransformationLibrary* library_;
+  std::shared_ptr<MatcherCandidateCache> cache_;
 };
 
 }  // namespace kgsearch

@@ -1,0 +1,202 @@
+#include "service/query_service.h"
+
+#include <thread>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+std::string QuerySignature(const QueryGraph& query, PivotStrategy strategy,
+                           size_t n_hat, uint64_t seed) {
+  // Node and edge labels separated by unit separators; '\x1f' cannot occur
+  // in sane labels, so distinct queries cannot collide.
+  std::string sig;
+  sig.reserve(64 + query.NumNodes() * 16 + query.NumEdges() * 16);
+  sig += StrFormat("s%d;n%zu;r%llu", static_cast<int>(strategy), n_hat,
+                   static_cast<unsigned long long>(seed));
+  for (const QueryNode& node : query.nodes()) {
+    sig += '\x1f';
+    sig += node.type;
+    sig += '\x1e';
+    sig += node.name;
+  }
+  for (const QueryEdge& edge : query.edges()) {
+    sig += StrFormat("\x1f%d-%d:", edge.from, edge.to);
+    sig += edge.predicate;
+  }
+  return sig;
+}
+
+/// RAII guard over one query execution: construction marks the query in
+/// flight, Finish(ok) records latency and outcome. If an exception skips
+/// Finish, the destructor records the query as failed so the in-flight
+/// gauge and totals can never drift.
+class QueryService::FlightTracker {
+ public:
+  FlightTracker(QueryService* service, std::atomic<uint64_t>* mode_counter)
+      : service_(service), mode_counter_(mode_counter), watch_(service->clock_) {
+    service_->in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  ~FlightTracker() {
+    if (!finished_) Finish(false);
+  }
+
+  void Finish(bool ok) {
+    finished_ = true;
+    service_->latency_.RecordMicros(watch_.ElapsedMicros());
+    service_->queries_total_.fetch_add(1, std::memory_order_relaxed);
+    mode_counter_->fetch_add(1, std::memory_order_relaxed);
+    if (!ok) service_->queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    service_->in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  QueryService* service_;
+  std::atomic<uint64_t>* mode_counter_;
+  StopWatch watch_;
+  bool finished_ = false;
+};
+
+namespace {
+size_t EffectiveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const size_t hw = std::thread::hardware_concurrency();
+  return hw < 2 ? 2 : hw;
+}
+}  // namespace
+
+QueryService::QueryService(const KnowledgeGraph* graph,
+                           const PredicateSpace* space,
+                           const TransformationLibrary* library,
+                           QueryServiceOptions options, const Clock* clock)
+    : clock_(clock),
+      sgq_(graph, space, library, clock),
+      tbq_(graph, space, library, clock),
+      decomposition_cache_(options.decomposition_cache_capacity),
+      start_micros_(clock->NowMicros()),
+      pool_(std::make_unique<ThreadPool>(
+          EffectiveThreads(options.num_threads))) {
+  if (options.matcher_cache_capacity > 0) {
+    matcher_cache_ = std::make_shared<MatcherCandidateCache>(
+        options.matcher_cache_capacity);
+    sgq_.mutable_matcher()->set_candidate_cache(matcher_cache_);
+    tbq_.mutable_matcher()->set_candidate_cache(matcher_cache_);
+  }
+}
+
+QueryService::~QueryService() = default;
+
+Result<Decomposition> QueryService::CachedDecomposition(
+    const QueryGraph& query, PivotStrategy strategy, size_t n_hat,
+    uint64_t seed) {
+  // Plan cache: DecomposeQuery is pure in (query, strategy, n_hat, seed,
+  // graph), and the graph is immutable, so a hit replays the exact plan.
+  const std::string key = QuerySignature(query, strategy, n_hat, seed);
+  Decomposition decomposition;
+  if (decomposition_cache_.Get(key, &decomposition)) return decomposition;
+  Result<Decomposition> computed = DecomposeQuery(
+      query, MakeDecomposeOptions(sgq_.graph(), strategy, n_hat, seed));
+  if (!computed.ok()) return computed.status();
+  decomposition_cache_.Put(key, computed.ValueOrDie());
+  return computed;
+}
+
+Result<QueryResult> QueryService::Query(const QueryGraph& query,
+                                        EngineOptions options) {
+  options.executor = pool_.get();
+  FlightTracker tracker(this, &sgq_queries_);
+  Result<Decomposition> decomposition = CachedDecomposition(
+      query, options.pivot_strategy, options.n_hat, options.seed);
+  if (!decomposition.ok()) {
+    tracker.Finish(false);
+    return decomposition.status();
+  }
+  Result<QueryResult> result =
+      sgq_.QueryDecomposed(query, decomposition.ValueOrDie(), options);
+  tracker.Finish(result.ok());
+  return result;
+}
+
+template <typename ResultT, typename RunFn>
+std::future<ResultT> QueryService::SubmitImpl(RunFn run) {
+  auto promise = std::make_shared<std::promise<ResultT>>();
+  std::future<ResultT> fut = promise->get_future();
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  const bool accepted =
+      pool_->TrySubmit([this, promise, run = std::move(run)]() mutable {
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        // A throwing query must reach the client through the future, not
+        // abandon the promise (future_error::broken_promise).
+        try {
+          promise->set_value(run());
+        } catch (...) {
+          promise->set_exception(std::current_exception());
+        }
+      });
+  if (!accepted) {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    promise->set_value(Status::Internal("query service is shutting down"));
+  }
+  return fut;
+}
+
+std::future<Result<QueryResult>> QueryService::Submit(QueryGraph query,
+                                                      EngineOptions options) {
+  return SubmitImpl<Result<QueryResult>>(
+      [this, query = std::move(query), options]() {
+        return Query(query, options);
+      });
+}
+
+Result<TimeBoundedResult> QueryService::QueryTimeBounded(
+    const QueryGraph& query, TimeBoundedOptions options) {
+  options.executor = pool_.get();
+  FlightTracker tracker(this, &tbq_queries_);
+  Result<Decomposition> decomposition = CachedDecomposition(
+      query, options.pivot_strategy, options.n_hat, options.seed);
+  if (!decomposition.ok()) {
+    tracker.Finish(false);
+    return decomposition.status();
+  }
+  Result<TimeBoundedResult> result =
+      tbq_.QueryDecomposed(query, decomposition.ValueOrDie(), options);
+  tracker.Finish(result.ok());
+  return result;
+}
+
+std::future<Result<TimeBoundedResult>> QueryService::SubmitTimeBounded(
+    QueryGraph query, TimeBoundedOptions options) {
+  return SubmitImpl<Result<TimeBoundedResult>>(
+      [this, query = std::move(query), options]() {
+        return QueryTimeBounded(query, options);
+      });
+}
+
+ServiceStatsSnapshot QueryService::Stats() const {
+  ServiceStatsSnapshot s;
+  s.queries_total = queries_total_.load(std::memory_order_relaxed);
+  s.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  s.sgq_queries = sgq_queries_.load(std::memory_order_relaxed);
+  s.tbq_queries = tbq_queries_.load(std::memory_order_relaxed);
+  s.decomposition_cache_hits = decomposition_cache_.hits();
+  s.decomposition_cache_misses = decomposition_cache_.misses();
+  if (matcher_cache_) {
+    s.matcher_cache_hits = matcher_cache_->hits();
+    s.matcher_cache_misses = matcher_cache_->misses();
+  }
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.queue_depth = queued_.load(std::memory_order_relaxed);
+  s.uptime_seconds =
+      static_cast<double>(clock_->NowMicros() - start_micros_) / 1e6;
+  s.qps = s.uptime_seconds > 0.0
+              ? static_cast<double>(s.queries_total) / s.uptime_seconds
+              : 0.0;
+  s.latency_p50_ms = latency_.PercentileMicros(0.50) / 1000.0;
+  s.latency_p95_ms = latency_.PercentileMicros(0.95) / 1000.0;
+  s.latency_max_ms = static_cast<double>(latency_.max_micros()) / 1000.0;
+  return s;
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,131 @@
+// QueryService: concurrent serving of SGQ and TBQ queries over one shared
+// process-wide executor.
+//
+// The engines themselves are stateless per query (const Query methods over
+// immutable graph/space/library), so the serving layer's job is resource
+// multiplexing and memoization:
+//  - one ThreadPool shared by every in-flight query; sub-query A* searches
+//    run as caller-participating batches (RunOnPool), so a pool saturated
+//    with queries still makes progress on each query's own sub-queries;
+//  - an LRU cache of query decompositions (DecomposeQuery is pure in the
+//    query + options, so cached plans are bit-identical to fresh ones);
+//  - a shared LRU cache of node-matcher candidate lists, installed into
+//    both engines' matchers;
+//  - per-service counters: QPS, cache hit rates, queue depth, in-flight
+//    gauge, and a p50/p95/max latency histogram.
+//
+// Thread-safety: all public methods may be called concurrently from any
+// thread. Results are bit-identical to direct serial SgqEngine execution
+// for the same query and options (the differential tests assert this).
+#ifndef KGSEARCH_SERVICE_QUERY_SERVICE_H_
+#define KGSEARCH_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "core/time_bounded.h"
+#include "service/service_stats.h"
+#include "util/lru_cache.h"
+#include "util/thread_pool.h"
+
+namespace kgsearch {
+
+/// Serving-layer knobs (per-query knobs stay in EngineOptions /
+/// TimeBoundedOptions).
+struct QueryServiceOptions {
+  /// Worker threads in the shared pool; 0 = std::thread::hardware_concurrency
+  /// (minimum 2 so async queries overlap even on tiny machines).
+  size_t num_threads = 0;
+  /// Entries in the decomposition plan cache; 0 disables it.
+  size_t decomposition_cache_capacity = 512;
+  /// Entries per kind (name/type) in the shared matcher candidate cache;
+  /// 0 disables it.
+  size_t matcher_cache_capacity = 4096;
+};
+
+/// A stable cache key for (query graph, decomposition-relevant options).
+/// Exposed for tests.
+std::string QuerySignature(const QueryGraph& query, PivotStrategy strategy,
+                           size_t n_hat, uint64_t seed);
+
+/// Multiplexes many concurrent SGQ/TBQ queries over one shared executor.
+class QueryService {
+ public:
+  /// All pointers must outlive the service.
+  QueryService(const KnowledgeGraph* graph, const PredicateSpace* space,
+               const TransformationLibrary* library,
+               QueryServiceOptions options = {},
+               const Clock* clock = SystemClock::Default());
+
+  /// Drains queued async queries, then joins the pool.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Synchronous SGQ query on the shared executor. `options.executor` and
+  /// `options.threads` are overridden by the service's pool.
+  Result<QueryResult> Query(const QueryGraph& query, EngineOptions options);
+
+  /// Asynchronous SGQ query: enqueues on the shared pool and returns a
+  /// future. Any number of submissions may be in flight at once.
+  std::future<Result<QueryResult>> Submit(QueryGraph query,
+                                          EngineOptions options);
+
+  /// Synchronous TBQ query on the shared executor.
+  Result<TimeBoundedResult> QueryTimeBounded(const QueryGraph& query,
+                                             TimeBoundedOptions options);
+
+  /// Asynchronous TBQ query.
+  std::future<Result<TimeBoundedResult>> SubmitTimeBounded(
+      QueryGraph query, TimeBoundedOptions options);
+
+  /// Point-in-time counter snapshot.
+  ServiceStatsSnapshot Stats() const;
+
+  size_t num_threads() const { return pool_->num_threads(); }
+  const SgqEngine& sgq_engine() const { return sgq_; }
+  const TbqEngine& tbq_engine() const { return tbq_; }
+
+ private:
+  /// RAII guard updating the in-flight gauge, latency histogram, and
+  /// success/failure counters around one query execution.
+  class FlightTracker;
+
+  /// Shared machinery behind Submit/SubmitTimeBounded: enqueue `run` on
+  /// the pool, tracking queue depth, resolving the promise with an error
+  /// when the pool is shutting down.
+  template <typename ResultT, typename RunFn>
+  std::future<ResultT> SubmitImpl(RunFn run);
+
+  /// The decomposition plan, via the LRU cache (both SGQ and TBQ traffic).
+  Result<Decomposition> CachedDecomposition(const QueryGraph& query,
+                                            PivotStrategy strategy,
+                                            size_t n_hat, uint64_t seed);
+
+  const Clock* clock_;
+  SgqEngine sgq_;
+  TbqEngine tbq_;
+  std::shared_ptr<MatcherCandidateCache> matcher_cache_;  ///< may be null
+  LruCache<std::string, Decomposition> decomposition_cache_;
+
+  std::atomic<uint64_t> queries_total_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> sgq_queries_{0};
+  std::atomic<uint64_t> tbq_queries_{0};
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> queued_{0};
+  LatencyHistogram latency_;
+  int64_t start_micros_ = 0;
+
+  /// Declared last: destroyed first, so queued tasks (which reference the
+  /// members above) finish before anything else is torn down.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,113 @@
+// Serving-layer observability: lock-free latency histogram and the
+// aggregate counter snapshot exposed by QueryService::Stats().
+#ifndef KGSEARCH_SERVICE_SERVICE_STATS_H_
+#define KGSEARCH_SERVICE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace kgsearch {
+
+/// Geometric-bucket latency histogram (16 buckets per decade, 1us..~100s).
+/// Record and Percentile are safe to call concurrently; percentiles are
+/// approximate to within one bucket width (~15%).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBucketsPerDecade = 16;
+  static constexpr size_t kNumBuckets = kBucketsPerDecade * 8;  // 8 decades
+
+  void RecordMicros(int64_t micros) {
+    buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+    int64_t prev = max_micros_.load(std::memory_order_relaxed);
+    while (micros > prev && !max_micros_.compare_exchange_weak(
+                                prev, micros, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// The q-quantile (q in [0,1]) in microseconds, as the geometric center
+  /// of the bucket holding it. 0 when nothing was recorded.
+  double PercentileMicros(double q) const {
+    uint64_t total = 0;
+    std::array<uint64_t, kNumBuckets> counts;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      counts[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += counts[i];
+    }
+    if (total == 0) return 0.0;
+    const uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(total - 1));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) return BucketCenterMicros(i);
+    }
+    return BucketCenterMicros(kNumBuckets - 1);
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  int64_t max_micros() const {
+    return max_micros_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static size_t BucketOf(int64_t micros) {
+    if (micros <= 1) return 0;
+    const double idx =
+        std::log10(static_cast<double>(micros)) * kBucketsPerDecade;
+    const size_t b = static_cast<size_t>(idx);
+    return b >= kNumBuckets ? kNumBuckets - 1 : b;
+  }
+  static double BucketCenterMicros(size_t bucket) {
+    return std::pow(10.0, (static_cast<double>(bucket) + 0.5) /
+                              kBucketsPerDecade);
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> max_micros_{0};
+};
+
+/// Point-in-time view of a QueryService's counters.
+struct ServiceStatsSnapshot {
+  uint64_t queries_total = 0;   ///< completed queries (SGQ + TBQ)
+  uint64_t queries_failed = 0;  ///< completed with a non-OK status
+  uint64_t sgq_queries = 0;
+  uint64_t tbq_queries = 0;
+
+  uint64_t decomposition_cache_hits = 0;
+  uint64_t decomposition_cache_misses = 0;
+  uint64_t matcher_cache_hits = 0;
+  uint64_t matcher_cache_misses = 0;
+
+  size_t in_flight = 0;    ///< queries currently executing
+  size_t queue_depth = 0;  ///< submitted async queries not yet started
+
+  double uptime_seconds = 0.0;
+  double qps = 0.0;  ///< queries_total / uptime
+
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  double decomposition_cache_hit_rate() const {
+    const uint64_t n = decomposition_cache_hits + decomposition_cache_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(decomposition_cache_hits) /
+                        static_cast<double>(n);
+  }
+  double matcher_cache_hit_rate() const {
+    const uint64_t n = matcher_cache_hits + matcher_cache_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(matcher_cache_hits) /
+                        static_cast<double>(n);
+  }
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_SERVICE_SERVICE_STATS_H_

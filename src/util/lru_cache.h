@@ -1,0 +1,87 @@
+// Thread-safe LRU cache keyed by hashable keys, used by the serving layer
+// to memoize query decompositions and node-matcher candidate lists.
+#ifndef KGSEARCH_UTIL_LRU_CACHE_H_
+#define KGSEARCH_UTIL_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace kgsearch {
+
+/// Bounded map with least-recently-used eviction. Get/Put are mutually
+/// exclusive under one mutex — values are copied out rather than referenced,
+/// so callers never hold pointers into the cache. A capacity of 0 disables
+/// the cache entirely (every Get misses, Put is a no-op).
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Copies the cached value into `*out` and returns true on a hit; the
+  /// entry becomes most-recently-used.
+  bool Get(const K& key, V* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++hits_;
+    *out = it->second->second;
+    return true;
+  }
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry
+  /// when the cache is full.
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_[key] = entries_.begin();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Most-recently-used first.
+  std::list<std::pair<K, V>> entries_;
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_UTIL_LRU_CACHE_H_

@@ -1,8 +1,28 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
 #include "util/status.h"
 
 namespace kgsearch {
+
+void WaitGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  KG_CHECK(count_ > 0);
+  if (--count_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return count_ == 0; });
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   KG_CHECK(num_threads > 0);
@@ -33,6 +53,21 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return fut;
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) return false;
+    tasks_.push(std::packaged_task<void()>(std::move(task)));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;
@@ -59,6 +94,57 @@ void RunParallel(std::vector<std::function<void()>> tasks,
   futures.reserve(tasks.size());
   for (auto& t : tasks) futures.push_back(pool.Submit(std::move(t)));
   for (auto& f : futures) f.get();
+}
+
+void RunOnPool(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (pool == nullptr || tasks.size() == 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+
+  // Shared claim state: helpers enqueued on the pool and the caller all
+  // draw tasks from one atomic cursor. The state is shared_ptr-owned so a
+  // helper that fires after the caller returned finds an (empty) batch
+  // rather than dangling memory.
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::atomic<size_t> next{0};
+    WaitGroup wg;
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  batch->wg.Add(batch->tasks.size());
+
+  // A throwing task must still mark itself done (or the join below hangs);
+  // the first exception is captured and rethrown to the caller, matching
+  // how RunParallel surfaces task exceptions through future.get().
+  auto drain = [batch] {
+    for (;;) {
+      const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->tasks.size()) return;
+      try {
+        batch->tasks[i]();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch->error_mutex);
+        if (!batch->error) batch->error = std::current_exception();
+      }
+      batch->wg.Done();
+    }
+  };
+
+  // Offer up to (batch size - 1) helper jobs: the caller is the remaining
+  // executor. Rejection (pool shutting down) is fine — the caller drains.
+  const size_t helpers =
+      std::min(batch->tasks.size() - 1, pool->num_threads());
+  for (size_t h = 0; h < helpers; ++h) {
+    if (!pool->TrySubmit(drain)) break;
+  }
+  drain();
+  batch->wg.Wait();
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 }  // namespace kgsearch

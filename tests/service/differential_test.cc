@@ -1,0 +1,187 @@
+// Differential correctness: SGQ vs. the exact-match baselines on
+// exact-match workloads, and QueryService vs. direct SgqEngine execution
+// over seeded synthetic datasets from gen/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "baselines/exact_match.h"
+#include "eval/harness.h"
+#include "gen/car_domain.h"
+#include "gen/synthetic_kg.h"
+#include "gen/workload.h"
+#include "service/query_service.h"
+
+namespace kgsearch {
+namespace {
+
+/// True when every element of `subset` occurs in `superset`.
+bool IsSubset(const std::vector<NodeId>& subset,
+              const std::vector<NodeId>& superset) {
+  const std::set<NodeId> super(superset.begin(), superset.end());
+  return std::all_of(subset.begin(), subset.end(),
+                     [&super](NodeId u) { return super.count(u) > 0; });
+}
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto car = MakeCarDomainDataset(150, 117);
+    ASSERT_TRUE(car.ok()) << car.status().ToString();
+    car_ = std::move(car).ValueOrDie().release();
+
+    auto dbp = GenerateDataset(DbpediaLikeSpec(0.3, 42));
+    ASSERT_TRUE(dbp.ok()) << dbp.status().ToString();
+    dbpedia_ = std::move(dbp).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete car_;
+    car_ = nullptr;
+    delete dbpedia_;
+    dbpedia_ = nullptr;
+  }
+
+  static GeneratedDataset* car_;
+  static GeneratedDataset* dbpedia_;
+};
+
+GeneratedDataset* DifferentialTest::car_ = nullptr;
+GeneratedDataset* DifferentialTest::dbpedia_ = nullptr;
+
+// On an exact-match workload (exact type, exact KG predicate: Q117 variant
+// 4) every answer an exact-edge baseline finds is a 1-hop path of weight 1,
+// i.e. pss = 1 >= tau — so SGQ at a large enough k must return a superset,
+// with those exact answers ranked at full per-sub-query score.
+TEST_F(DifferentialTest, SgqSupersetOfExactMatchBaselinesOnExactWorkload) {
+  MethodContext context{car_->graph.get(), car_->space.get(),
+                        &car_->library};
+  SgqEngine sgq(car_->graph.get(), car_->space.get(), &car_->library);
+  QueryGraph q = MakeQ117Variant(4);
+  const size_t k = 200;
+
+  EngineOptions options;
+  options.k = k;
+  auto sgq_result = sgq.Query(q, options);
+  ASSERT_TRUE(sgq_result.ok()) << sgq_result.status().ToString();
+  const std::vector<NodeId> sgq_answers = sgq_result.ValueOrDie().AnswerIds();
+  ASSERT_FALSE(sgq_answers.empty());
+
+  std::vector<std::unique_ptr<GraphQueryMethod>> exact_methods;
+  exact_methods.push_back(MakeGStore(context));
+  exact_methods.push_back(MakeSlq(context));
+  for (const auto& method : exact_methods) {
+    auto exact = method->QueryTopK(q, /*answer_node=*/0, k);
+    ASSERT_TRUE(exact.ok()) << method->name();
+    ASSERT_FALSE(exact.ValueOrDie().empty()) << method->name();
+    EXPECT_TRUE(IsSubset(exact.ValueOrDie(), sgq_answers))
+        << method->name() << " found answers SGQ missed";
+  }
+
+  // Ranking consistency: exact 1-hop answers carry the maximum possible
+  // score, so the top-ranked SGQ answer must be one of them.
+  auto gstore = MakeGStore(context)->QueryTopK(q, 0, k);
+  ASSERT_TRUE(gstore.ok());
+  const std::set<NodeId> exact_set(gstore.ValueOrDie().begin(),
+                                   gstore.ValueOrDie().end());
+  EXPECT_TRUE(exact_set.count(sgq_answers.front()) > 0)
+      << "top SGQ answer is not an exact match";
+}
+
+// The service must be a pure serving wrapper: bit-identical answers to
+// direct SgqEngine execution for the same seed and options, across a mixed
+// simple/chain/star workload on a seeded synthetic dataset.
+TEST_F(DifferentialTest, ServiceBitIdenticalToDirectEngineOnWorkload) {
+  const std::vector<QueryWithGold> workload =
+      MakeStandardWorkload(*dbpedia_, 8);
+  ASSERT_FALSE(workload.empty());
+
+  SgqEngine direct(dbpedia_->graph.get(), dbpedia_->space.get(),
+                   &dbpedia_->library);
+  QueryServiceOptions soptions;
+  soptions.num_threads = 4;
+  QueryService service(dbpedia_->graph.get(), dbpedia_->space.get(),
+                       &dbpedia_->library, soptions);
+
+  EngineOptions options;
+  options.k = 25;
+  for (const QueryWithGold& q : workload) {
+    auto direct_result = direct.Query(q.query, options);
+    auto service_result = service.Query(q.query, options);
+    ASSERT_EQ(direct_result.ok(), service_result.ok()) << q.description;
+    if (!direct_result.ok()) continue;
+    const QueryResult& a = direct_result.ValueOrDie();
+    const QueryResult& b = service_result.ValueOrDie();
+    ASSERT_EQ(a.matches.size(), b.matches.size()) << q.description;
+    for (size_t i = 0; i < a.matches.size(); ++i) {
+      EXPECT_EQ(a.matches[i].pivot_match, b.matches[i].pivot_match)
+          << q.description << " rank " << i;
+      EXPECT_EQ(a.matches[i].score, b.matches[i].score)
+          << q.description << " rank " << i;
+    }
+    EXPECT_EQ(ExtractAnswers(a.matches, a.decomposition, q.answer_node),
+              ExtractAnswers(b.matches, b.decomposition, q.answer_node))
+        << q.description;
+  }
+}
+
+// Re-running the same seeded workload through the service (now with warm
+// caches) must reproduce the cold-cache answers exactly.
+TEST_F(DifferentialTest, WarmCachesDoNotChangeAnswers) {
+  const std::vector<QueryWithGold> workload =
+      MakeStandardWorkload(*dbpedia_, 6);
+  ASSERT_FALSE(workload.empty());
+  QueryServiceOptions soptions;
+  soptions.num_threads = 4;
+  QueryService service(dbpedia_->graph.get(), dbpedia_->space.get(),
+                       &dbpedia_->library, soptions);
+
+  EngineOptions options;
+  options.k = 20;
+  std::vector<std::vector<NodeId>> cold;
+  for (const QueryWithGold& q : workload) {
+    auto r = service.Query(q.query, options);
+    ASSERT_TRUE(r.ok()) << q.description;
+    cold.push_back(r.ValueOrDie().AnswerIds());
+  }
+  const ServiceStatsSnapshot mid = service.Stats();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto r = service.Query(workload[i].query, options);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.ValueOrDie().AnswerIds(), cold[i])
+        << workload[i].description;
+  }
+  const ServiceStatsSnapshot warm = service.Stats();
+  EXPECT_GT(warm.decomposition_cache_hits, mid.decomposition_cache_hits);
+}
+
+// The eval-harness service runner must agree with the per-method runner on
+// effectiveness (identical answers => identical precision/recall).
+TEST_F(DifferentialTest, HarnessServiceRunnerMatchesDirectMethodRun) {
+  const std::vector<QueryWithGold> workload =
+      MakeStandardWorkload(*dbpedia_, 6);
+  ASSERT_FALSE(workload.empty());
+
+  EngineOptions options;
+  options.k = 20;
+  MethodContext context{dbpedia_->graph.get(), dbpedia_->space.get(),
+                        &dbpedia_->library};
+  SgqMethod direct(context, options);
+  const MethodRun direct_run = RunMethodOnWorkload(direct, workload, 20);
+
+  QueryServiceOptions soptions;
+  soptions.num_threads = 4;
+  QueryService service(dbpedia_->graph.get(), dbpedia_->space.get(),
+                       &dbpedia_->library, soptions);
+  const MethodRun service_run =
+      RunServiceOnWorkload(&service, workload, 20, options, 4);
+
+  EXPECT_EQ(service_run.queries_failed, direct_run.queries_failed);
+  EXPECT_DOUBLE_EQ(service_run.precision, direct_run.precision);
+  EXPECT_DOUBLE_EQ(service_run.recall, direct_run.recall);
+  EXPECT_DOUBLE_EQ(service_run.f1, direct_run.f1);
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,77 @@
+#include "util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kgsearch {
+namespace {
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache<std::string, int> cache(4);
+  int v = 0;
+  EXPECT_FALSE(cache.Get("a", &v));
+  cache.Put("a", 7);
+  ASSERT_TRUE(cache.Get("a", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("b", 2);
+  int v = 0;
+  ASSERT_TRUE(cache.Get("a", &v));  // refresh "a"; "b" is now LRU
+  cache.Put("c", 3);                // evicts "b"
+  EXPECT_FALSE(cache.Get("b", &v));
+  EXPECT_TRUE(cache.Get("a", &v));
+  EXPECT_TRUE(cache.Get("c", &v));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  LruCache<std::string, int> cache(2);
+  cache.Put("a", 1);
+  cache.Put("a", 9);
+  int v = 0;
+  ASSERT_TRUE(cache.Get("a", &v));
+  EXPECT_EQ(v, 9);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  LruCache<std::string, int> cache(0);
+  cache.Put("a", 1);
+  int v = 0;
+  EXPECT_FALSE(cache.Get("a", &v));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ConcurrentMixedAccessIsSafe) {
+  LruCache<int, std::vector<int>> cache(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const int key = (t * 31 + i) % 100;
+        std::vector<int> v;
+        if (!cache.Get(key, &v)) {
+          cache.Put(key, std::vector<int>(8, key));
+        } else {
+          ASSERT_EQ(v.size(), 8u);
+          ASSERT_EQ(v[0], key);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -89,5 +89,116 @@ TEST(RunParallelTest, EmptyIsNoop) {
   SUCCEED();
 }
 
+TEST(WaitGroupTest, WaitReturnsImmediatelyWhenEmpty) {
+  WaitGroup wg;
+  wg.Wait();
+  SUCCEED();
+}
+
+TEST(WaitGroupTest, WaitBlocksUntilAllDone) {
+  WaitGroup wg;
+  wg.Add(8);
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      done.fetch_add(1);
+      wg.Done();
+    });
+  }
+  wg.Wait();
+  EXPECT_EQ(done.load(), 8);
+  for (auto& t : threads) t.join();
+}
+
+TEST(ThreadPoolTest, TrySubmitAcceptsWhileRunning) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  }
+  // Destructor drains the queue.
+}
+
+TEST(ThreadPoolTest, QueueDepthCountsUnstartedTasks) {
+  std::promise<void> gate;
+  std::promise<void> started;
+  ThreadPool pool(1);
+  pool.Submit([&gate, &started] {
+    started.set_value();
+    gate.get_future().wait();
+  });
+  // Only count once the single worker is provably inside the gate task.
+  started.get_future().wait();
+  for (int i = 0; i < 5; ++i) pool.Submit([] {});
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  gate.set_value();
+}
+
+TEST(RunOnPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> runs(64);
+  std::vector<std::function<void()>> tasks;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    tasks.push_back([&runs, i] { runs[i].fetch_add(1); });
+  }
+  RunOnPool(&pool, std::move(tasks));
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(RunOnPoolTest, NullPoolRunsInline) {
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  RunOnPool(nullptr, std::move(tasks));
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(RunOnPoolTest, NestedJoinOnSaturatedPoolCannotDeadlock) {
+  // Every worker of a 2-thread pool runs an outer task that itself forks an
+  // inner batch on the same pool and joins it. With blocking joins this
+  // deadlocks; caller participation must drain the inner batches.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<void()>> outer;
+  for (int o = 0; o < 8; ++o) {
+    outer.push_back([&pool, &inner_runs] {
+      std::vector<std::function<void()>> inner;
+      for (int i = 0; i < 8; ++i) {
+        inner.push_back([&inner_runs] { inner_runs.fetch_add(1); });
+      }
+      RunOnPool(&pool, std::move(inner));
+    });
+  }
+  RunOnPool(&pool, std::move(outer));
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+TEST(RunOnPoolTest, TasksSubmittedDuringShutdownStillComplete) {
+  // A batch forked from inside a queued task while the pool destructor is
+  // draining must complete inline (helper TrySubmit is rejected).
+  std::atomic<int> inner_runs{0};
+  auto pool = std::make_unique<ThreadPool>(1);
+  std::promise<void> gate;
+  pool->Submit([&gate] { gate.get_future().wait(); });
+  ThreadPool* raw = pool.get();
+  pool->Submit([raw, &inner_runs] {
+    std::vector<std::function<void()>> inner;
+    for (int i = 0; i < 4; ++i) {
+      inner.push_back([&inner_runs] { inner_runs.fetch_add(1); });
+    }
+    RunOnPool(raw, std::move(inner));
+  });
+  std::thread releaser([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    gate.set_value();
+  });
+  pool.reset();  // drains both queued tasks during shutdown
+  releaser.join();
+  EXPECT_EQ(inner_runs.load(), 4);
+}
+
 }  // namespace
 }  // namespace kgsearch
