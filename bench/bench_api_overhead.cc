@@ -1,0 +1,144 @@
+// Facade tax: KgSession::Query (request DTO in, response DTO out) vs a
+// direct QueryService::Query call over the same data, caches, and pool
+// sizing. The facade adds dataset lookup, Validate(), and answer-DTO
+// construction (name/type string copies) around the identical engine
+// execution, so its overhead must stay small; this bench gates it at <5%
+// on the min-of-passes total and records the trajectory in
+// BENCH_api_overhead.json. A correctness gate asserts both paths return
+// identical answers before any number is reported.
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "api/session.h"
+#include "eval/harness.h"
+#include "gen/synthetic_kg.h"
+
+namespace kgsearch {
+namespace {
+
+constexpr size_t kPasses = 15;
+constexpr double kMaxOverhead = 0.05;  // the acceptance gate: < 5%
+
+int Run() {
+  auto generated = GenerateDataset(DbpediaLikeSpec(0.4, 42));
+  if (!generated.ok()) {
+    std::fprintf(stderr, "dataset: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  GeneratedDataset& ds = *generated.ValueOrDie();
+  const std::vector<QueryWithGold> workload = MakeStandardWorkload(ds, 8);
+  if (workload.empty()) {
+    std::fprintf(stderr, "empty workload\n");
+    return 1;
+  }
+
+  // The session takes ownership; the direct service borrows the session's
+  // pointers so both paths query literally the same data.
+  KgSessionOptions session_options;
+  session_options.num_threads = 4;
+  KgSession session(session_options);
+  Status registered =
+      session.RegisterDataset("bench", std::move(ds.graph),
+                              std::move(ds.space), std::move(ds.library));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "register: %s\n", registered.ToString().c_str());
+    return 1;
+  }
+  QueryServiceOptions service_options;
+  service_options.num_threads = 4;
+  QueryService direct(session.graph("bench"), session.space("bench"),
+                      session.library("bench"), service_options);
+
+  RequestOptions api_options;
+  api_options.k = 20;
+  const EngineOptions engine_options = ToEngineOptions(api_options);
+
+  std::vector<QueryRequest> requests;
+  for (const QueryWithGold& q : workload) {
+    QueryRequest request;
+    request.dataset = "bench";
+    request.query_graph = q.query;
+    request.options = api_options;
+    requests.push_back(std::move(request));
+  }
+
+  // Correctness gate + cache warmup for both paths.
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto api = session.Query(requests[i]);
+    auto svc = direct.Query(workload[i].query, engine_options);
+    if (api.ok() != svc.ok()) {
+      std::fprintf(stderr, "gate: ok mismatch on %s\n",
+                   workload[i].description.c_str());
+      return 1;
+    }
+    if (!api.ok()) continue;
+    const QueryResponse& a = api.ValueOrDie();
+    const QueryResult& s = svc.ValueOrDie();
+    bool identical = a.answers.size() == s.matches.size();
+    for (size_t r = 0; identical && r < s.matches.size(); ++r) {
+      identical = a.answers[r].id == s.matches[r].pivot_match &&
+                  a.answers[r].score == s.matches[r].score;
+    }
+    if (!identical) {
+      std::fprintf(stderr, "gate: answers differ on %s\n",
+                   workload[i].description.c_str());
+      return 1;
+    }
+  }
+
+  // Alternate measured passes over the whole workload; min-of-passes
+  // filters scheduler noise.
+  double direct_min_ms = 0.0, facade_min_ms = 0.0;
+  std::vector<double> direct_ms, facade_ms;
+  for (size_t pass = 0; pass < kPasses; ++pass) {
+    StopWatch direct_watch;
+    for (const QueryWithGold& q : workload) {
+      auto r = direct.Query(q.query, engine_options);
+      if (!r.ok()) return 1;
+    }
+    direct_ms.push_back(direct_watch.ElapsedMillis());
+
+    StopWatch facade_watch;
+    for (const QueryRequest& request : requests) {
+      auto r = session.Query(request);
+      if (!r.ok()) return 1;
+    }
+    facade_ms.push_back(facade_watch.ElapsedMillis());
+  }
+  direct_min_ms = direct_ms[0];
+  facade_min_ms = facade_ms[0];
+  for (size_t pass = 1; pass < kPasses; ++pass) {
+    if (direct_ms[pass] < direct_min_ms) direct_min_ms = direct_ms[pass];
+    if (facade_ms[pass] < facade_min_ms) facade_min_ms = facade_ms[pass];
+  }
+  const double overhead = facade_min_ms / direct_min_ms - 1.0;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_api_overhead\",\n");
+  std::printf("  \"workload_queries\": %zu,\n", workload.size());
+  std::printf("  \"k\": %zu,\n", api_options.k);
+  std::printf("  \"passes\": %zu,\n", kPasses);
+  std::printf("  \"correctness_gate\": \"facade answers identical to direct "
+              "QueryService\",\n");
+  std::printf("  \"direct_min_ms\": %.3f,\n", direct_min_ms);
+  std::printf("  \"facade_min_ms\": %.3f,\n", facade_min_ms);
+  std::printf("  \"overhead_pct\": %.2f,\n", 100.0 * overhead);
+  std::printf("  \"gate_max_pct\": %.1f,\n", 100.0 * kMaxOverhead);
+  std::printf("  \"gate_passed\": %s\n", overhead < kMaxOverhead ? "true"
+                                                                 : "false");
+  std::printf("}\n");
+  if (overhead >= kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FAIL: facade overhead %.2f%% exceeds the %.1f%% gate\n",
+                 100.0 * overhead, 100.0 * kMaxOverhead);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace kgsearch
+
+int main() { return kgsearch::Run(); }

@@ -1,41 +1,36 @@
 // kgsearch_cli: run semantic-guided queries against a knowledge graph on
-// disk, end to end from the shell.
+// disk, end to end from the shell — a thin shell over the public API
+// (KgSession): argument parsing here, everything else (graph loading,
+// TransE training, query-text parsing, execution) in src/api.
 //
 // Usage:
 //   kgsearch_cli --graph kg.nt|kg.tsv [--space space.txt] [--library lib.tsv]
 //                [--train-transe] [--k 10] [--tau 0.8] [--nhat 4]
-//                [--time-bound-ms T] --query "?Automobile product Germany"
+//                [--time-bound-ms T] [--json] --query "?Automobile product Germany"
 //
-// The query syntax is a list of edges separated by ';':
-//   "?Type predicate Name"          target --predicate-- specific
-//   "?Type1 predicate ?Type2"       target --predicate-- target (chains)
-//   "Name predicate ?Type"          specific --predicate-- target
-// The first target node is the answer node. Example chain:
+// The query syntax is the api/query_text grammar: edges separated by ';',
+// each edge "node predicate node", '?'-prefixed tokens are target nodes
+// keyed by type, other tokens are specific entities. Example chain:
 //   "?Automobile engine ?Device; ?Device made_in Germany"
 //
 // Without --space, predicate vectors are trained with TransE on the loaded
 // graph (--train-transe forces retraining even when --space is given).
+// With --json the raw wire-protocol response document is printed instead
+// of the human-readable answer table.
+#include <charconv>
 #include <cstdio>
-#include <cstring>
-#include <map>
 #include <string>
 
-#include "core/engine.h"
-#include "core/time_bounded.h"
-#include "embedding/transe.h"
-#include "kg/triple_io.h"
-#include "util/string_util.h"
+#include "api/session.h"
 
 using namespace kgsearch;
 
 namespace {
 
 struct CliOptions {
-  std::string graph_path;
-  std::string space_path;
-  std::string library_path;
+  DatasetLoadOptions load;
   std::string query_text;
-  bool train_transe = false;
+  bool json = false;
   size_t k = 10;
   double tau = 0.8;
   size_t n_hat = 4;
@@ -46,9 +41,24 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --graph FILE [--space FILE] [--library FILE]\n"
                "          [--train-transe] [--k N] [--tau X] [--nhat N]\n"
-               "          [--time-bound-ms T] --query \"?Type pred Name\"\n",
+               "          [--time-bound-ms T] [--json]\n"
+               "          --query \"?Type pred Name\"\n",
                argv0);
   return 2;
+}
+
+/// Parses the whole string as a number; malformed flag values are a
+/// Status, not an uncaught std::sto* exception.
+template <typename T>
+Result<T> ParseNumber(std::string_view flag, const std::string& value) {
+  T out{};
+  auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    return Status::InvalidArgument(std::string(flag) +
+                                   ": invalid number '" + value + "'");
+  }
+  return out;
 }
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
@@ -64,220 +74,114 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
     if (arg == "--graph") {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
-      opts.graph_path = v.ValueOrDie();
+      opts.load.graph_path = v.ValueOrDie();
     } else if (arg == "--space") {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
-      opts.space_path = v.ValueOrDie();
+      opts.load.space_path = v.ValueOrDie();
     } else if (arg == "--library") {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
-      opts.library_path = v.ValueOrDie();
+      opts.load.library_path = v.ValueOrDie();
     } else if (arg == "--query") {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
       opts.query_text = v.ValueOrDie();
     } else if (arg == "--train-transe") {
-      opts.train_transe = true;
+      opts.load.train_transe = true;
+    } else if (arg == "--json") {
+      opts.json = true;
     } else if (arg == "--k") {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
-      opts.k = static_cast<size_t>(std::stoul(v.ValueOrDie()));
+      auto n = ParseNumber<size_t>(arg, v.ValueOrDie());
+      KG_RETURN_NOT_OK(n.status());
+      opts.k = n.ValueOrDie();
     } else if (arg == "--tau") {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
-      opts.tau = std::stod(v.ValueOrDie());
+      auto n = ParseNumber<double>(arg, v.ValueOrDie());
+      KG_RETURN_NOT_OK(n.status());
+      opts.tau = n.ValueOrDie();
     } else if (arg == "--nhat") {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
-      opts.n_hat = static_cast<size_t>(std::stoul(v.ValueOrDie()));
+      auto n = ParseNumber<size_t>(arg, v.ValueOrDie());
+      KG_RETURN_NOT_OK(n.status());
+      opts.n_hat = n.ValueOrDie();
     } else if (arg == "--time-bound-ms") {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
-      opts.time_bound_ms = std::stoll(v.ValueOrDie());
+      auto n = ParseNumber<int64_t>(arg, v.ValueOrDie());
+      KG_RETURN_NOT_OK(n.status());
+      opts.time_bound_ms = n.ValueOrDie();
     } else {
       return Status::InvalidArgument("unknown flag: " + std::string(arg));
     }
   }
-  if (opts.graph_path.empty() || opts.query_text.empty()) {
+  if (opts.load.graph_path.empty() || opts.query_text.empty()) {
     return Status::InvalidArgument("--graph and --query are required");
   }
   return opts;
 }
 
-/// Parses the edge-list query syntax into a QueryGraph. Node tokens
-/// starting with '?' are target nodes keyed by type; others are specific
-/// nodes (type is inferred from the graph when known).
-Result<QueryGraph> ParseQuery(const std::string& text,
-                              const KnowledgeGraph& graph) {
-  QueryGraph query;
-  std::map<std::string, int> nodes;  // token -> query node index
-  auto node_of = [&](const std::string& token) -> Result<int> {
-    auto it = nodes.find(token);
-    if (it != nodes.end()) return it->second;
-    int idx;
-    if (!token.empty() && token[0] == '?') {
-      idx = query.AddTargetNode(token.substr(1));
-    } else {
-      NodeId u = graph.FindNode(token);
-      std::string type = "Thing";
-      if (u != kInvalidNode) type = std::string(graph.NodeTypeName(u));
-      idx = query.AddSpecificNode(type, token);
-    }
-    nodes.emplace(token, idx);
-    return idx;
-  };
-
-  for (const std::string& part : Split(text, ';')) {
-    std::string_view edge = Trim(part);
-    if (edge.empty()) continue;
-    std::vector<std::string> tokens;
-    for (const std::string& t : Split(edge, ' ')) {
-      if (!Trim(t).empty()) tokens.emplace_back(Trim(t));
-    }
-    if (tokens.size() != 3) {
-      return Status::ParseError("each edge needs 'node predicate node': " +
-                                std::string(edge));
-    }
-    Result<int> from = node_of(tokens[0]);
-    KG_RETURN_NOT_OK(from.status());
-    Result<int> to = node_of(tokens[2]);
-    KG_RETURN_NOT_OK(to.status());
-    query.AddEdge(from.ValueOrDie(), to.ValueOrDie(), tokens[1]);
-  }
-  KG_RETURN_NOT_OK(query.Validate());
-  return query;
-}
-
 int RunCli(const CliOptions& opts) {
-  // ---- load graph ----
-  auto text = ReadFileToString(opts.graph_path);
-  if (!text.ok()) {
-    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-    return 1;
-  }
-  Result<std::unique_ptr<KnowledgeGraph>> graph_result =
-      EndsWith(opts.graph_path, ".tsv")
-          ? ParseTsvTriples(text.ValueOrDie())
-          : ParseNTriples(text.ValueOrDie());
-  if (!graph_result.ok()) {
-    std::fprintf(stderr, "cannot parse graph: %s\n",
-                 graph_result.status().ToString().c_str());
-    return 1;
-  }
-  const KnowledgeGraph& graph = *graph_result.ValueOrDie();
-  std::fprintf(stderr, "loaded %zu nodes, %zu edges, %zu predicates\n",
-               graph.NumNodes(), graph.NumEdges(), graph.NumPredicates());
-
-  // ---- predicate space: load or train ----
-  std::unique_ptr<PredicateSpace> space;
-  if (!opts.space_path.empty() && !opts.train_transe) {
-    auto stext = ReadFileToString(opts.space_path);
-    if (!stext.ok()) {
-      std::fprintf(stderr, "%s\n", stext.status().ToString().c_str());
-      return 1;
-    }
-    auto parsed = PredicateSpace::Deserialize(stext.ValueOrDie(), &graph);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "cannot parse space: %s\n",
-                   parsed.status().ToString().c_str());
-      return 1;
-    }
-    space = std::make_unique<PredicateSpace>(std::move(parsed).ValueOrDie());
-  } else {
+  KgSession session;
+  if (opts.load.space_path.empty() || opts.load.train_transe) {
     std::fprintf(stderr, "training TransE on the loaded graph...\n");
-    TransEConfig config;
-    config.dim = 48;
-    config.epochs = 60;
-    auto emb = TrainTransE(graph, config);
-    if (!emb.ok()) {
-      std::fprintf(stderr, "%s\n", emb.status().ToString().c_str());
-      return 1;
-    }
-    space = std::make_unique<PredicateSpace>(
-        PredicateSpace::FromTransE(graph, emb.ValueOrDie()));
   }
-
-  // ---- transformation library ----
-  TransformationLibrary library;
-  if (!opts.library_path.empty()) {
-    auto ltext = ReadFileToString(opts.library_path);
-    if (!ltext.ok()) {
-      std::fprintf(stderr, "%s\n", ltext.status().ToString().c_str());
-      return 1;
-    }
-    auto parsed = TransformationLibrary::Deserialize(ltext.ValueOrDie());
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "cannot parse library: %s\n",
-                   parsed.status().ToString().c_str());
-      return 1;
-    }
-    library = std::move(parsed).ValueOrDie();
-  }
-
-  // ---- query ----
-  auto query = ParseQuery(opts.query_text, graph);
-  if (!query.ok()) {
-    std::fprintf(stderr, "bad query: %s\n",
-                 query.status().ToString().c_str());
+  Status loaded = session.LoadDataset("default", opts.load);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 loaded.ToString().c_str());
     return 1;
   }
-
-  auto print_matches = [&](const std::vector<FinalMatch>& matches,
-                           double elapsed_ms) {
-    for (const FinalMatch& m : matches) {
-      std::printf("%-24s score=%.3f\n",
-                  std::string(graph.NodeName(m.pivot_match)).c_str(),
-                  m.score);
-      for (const PathMatch& path : m.parts) {
-        std::printf("  pss=%.3f  ", path.pss);
-        for (size_t i = 0; i < path.predicates.size(); ++i) {
-          std::printf("%s --%s--> ",
-                      std::string(graph.NodeName(path.nodes[i])).c_str(),
-                      std::string(graph.PredicateName(path.predicates[i]))
-                          .c_str());
-        }
-        std::printf("%s\n",
-                    std::string(graph.NodeName(path.nodes.back())).c_str());
-      }
-    }
-    std::fprintf(stderr, "%zu matches in %.2f ms\n", matches.size(),
-                 elapsed_ms);
-  };
-
-  if (opts.time_bound_ms > 0) {
-    TbqEngine engine(&graph, space.get(), &library);
-    TimeBoundedOptions toptions;
-    toptions.k = opts.k;
-    toptions.tau = opts.tau;
-    toptions.n_hat = opts.n_hat;
-    toptions.time_bound_micros = opts.time_bound_ms * 1000;
-    auto result = engine.Query(query.ValueOrDie(), toptions);
-    if (!result.ok()) {
-      std::fprintf(stderr, "query failed: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    if (result.ValueOrDie().stopped_by_time) {
-      std::fprintf(stderr, "(approximate: stopped by the time bound)\n");
-    }
-    print_matches(result.ValueOrDie().matches,
-                  result.ValueOrDie().elapsed_ms);
-  } else {
-    SgqEngine engine(&graph, space.get(), &library);
-    EngineOptions options;
-    options.k = opts.k;
-    options.tau = opts.tau;
-    options.n_hat = opts.n_hat;
-    auto result = engine.Query(query.ValueOrDie(), options);
-    if (!result.ok()) {
-      std::fprintf(stderr, "query failed: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    print_matches(result.ValueOrDie().matches,
-                  result.ValueOrDie().elapsed_ms);
+  for (const DatasetInfo& info : session.ListDatasets()) {
+    std::fprintf(stderr, "loaded %zu nodes, %zu edges, %zu predicates\n",
+                 info.nodes, info.edges, info.predicates);
   }
+
+  QueryRequest request;
+  request.dataset = "default";
+  request.query_text = opts.query_text;
+  request.options.k = opts.k;
+  request.options.tau = opts.tau;
+  request.options.n_hat = opts.n_hat;
+  if (opts.time_bound_ms > 0) {
+    request.mode = QueryMode::kTbq;
+    request.options.time_bound_micros = opts.time_bound_ms * 1000;
+  }
+
+  Result<QueryResponse> result = session.Query(request);
+  if (opts.json) {
+    // The wire path: print the protocol response (or error) document;
+    // the exit code still reflects the outcome.
+    std::printf("%s\n", result.ok()
+                            ? EncodeQueryResponseJson(result.ValueOrDie())
+                                  .c_str()
+                            : EncodeErrorJson(result.status()).c_str());
+    return result.ok() ? 0 : 1;
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const QueryResponse& response = result.ValueOrDie();
+  if (response.stopped_by_time) {
+    std::fprintf(stderr, "(approximate: stopped by the time bound)\n");
+  }
+  for (const AnswerDto& answer : response.answers) {
+    std::printf("%-24s %-16s score=%.3f\n", answer.name.c_str(),
+                answer.type.c_str(), answer.score);
+  }
+  std::fprintf(stderr,
+               "%zu answers in %.2f ms (parse %.2f ms, engine %.2f ms; "
+               "%llu sub-queries, %llu expansions)\n",
+               response.answers.size(), response.timings.total_ms,
+               response.timings.parse_ms, response.timings.engine_ms,
+               static_cast<unsigned long long>(response.stats.subqueries),
+               static_cast<unsigned long long>(response.stats.expanded));
   return 0;
 }
 

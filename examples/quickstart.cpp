@@ -1,54 +1,54 @@
 // Quickstart: build a small knowledge graph, define predicate semantics,
-// and run a semantic-guided top-k query.
+// register it with a KgSession, and run a semantic-guided top-k query
+// through the public API's text syntax.
 //
 //   $ ./quickstart
 //
 // The example mirrors the paper's running example (Figure 2): a query edge
 // "product" must match the semantically equivalent paths assembly and
 // assembly→country, while rejecting designer→nationality.
+#include <cmath>
 #include <cstdio>
 
-#include "core/engine.h"
-#include "embedding/predicate_space.h"
+#include "api/session.h"
 #include "kg/graph.h"
-#include "match/transformation_library.h"
 
 using namespace kgsearch;
 
 int main() {
   // 1. Build the knowledge graph (Definition 1): typed, named entities and
   //    predicate edges.
-  KnowledgeGraph graph;
-  NodeId audi = graph.AddNode("Audi_TT", "Automobile");
-  NodeId bmw = graph.AddNode("BMW_320", "Automobile");
-  NodeId kia = graph.AddNode("KIA_K5", "Automobile");
-  NodeId lamando = graph.AddNode("Lamando", "Automobile");
-  NodeId germany = graph.AddNode("Germany", "Country");
-  NodeId regensburg = graph.AddNode("Regensburg", "City");
-  NodeId vw = graph.AddNode("Volkswagen", "Company");
-  NodeId schreyer = graph.AddNode("Peter_Schreyer", "Person");
+  auto graph = std::make_unique<KnowledgeGraph>();
+  NodeId audi = graph->AddNode("Audi_TT", "Automobile");
+  NodeId bmw = graph->AddNode("BMW_320", "Automobile");
+  NodeId kia = graph->AddNode("KIA_K5", "Automobile");
+  NodeId lamando = graph->AddNode("Lamando", "Automobile");
+  NodeId germany = graph->AddNode("Germany", "Country");
+  NodeId regensburg = graph->AddNode("Regensburg", "City");
+  NodeId vw = graph->AddNode("Volkswagen", "Company");
+  NodeId schreyer = graph->AddNode("Peter_Schreyer", "Person");
 
-  graph.AddEdge(bmw, "assembly", germany);
-  graph.AddEdge(audi, "assembly", regensburg);
-  graph.AddEdge(regensburg, "country", germany);
-  graph.AddEdge(lamando, "manufacturer", vw);
-  graph.AddEdge(vw, "location", germany);
-  graph.AddEdge(kia, "designer", schreyer);
-  graph.AddEdge(schreyer, "nationality", germany);
-  graph.InternPredicate("product");  // the query predicate (Figure 2)
-  graph.Finalize();
+  graph->AddEdge(bmw, "assembly", germany);
+  graph->AddEdge(audi, "assembly", regensburg);
+  graph->AddEdge(regensburg, "country", germany);
+  graph->AddEdge(lamando, "manufacturer", vw);
+  graph->AddEdge(vw, "location", germany);
+  graph->AddEdge(kia, "designer", schreyer);
+  graph->AddEdge(schreyer, "nationality", germany);
+  graph->InternPredicate("product");  // the query predicate (Figure 2)
+  graph->Finalize();
 
   // 2. Provide the predicate semantic space (Section IV-A). Real systems
-  //    train TransE (see TrainTransE / PredicateSpace::FromTransE); here we
+  //    train TransE (KgSession::LoadDataset does it for you); here we
   //    write the paper's similarity bands directly as 2-D vectors.
   auto vec = [](double cosine) {
     return FloatVec{static_cast<float>(cosine),
                     static_cast<float>(std::sqrt(1.0 - cosine * cosine))};
   };
-  std::vector<FloatVec> vectors(graph.NumPredicates());
-  std::vector<std::string> names(graph.NumPredicates());
+  std::vector<FloatVec> vectors(graph->NumPredicates());
+  std::vector<std::string> names(graph->NumPredicates());
   auto set_vec = [&](const char* predicate, double cosine_to_product) {
-    PredicateId p = graph.FindPredicate(predicate);
+    PredicateId p = graph->FindPredicate(predicate);
     vectors[p] = vec(cosine_to_product);
     names[p] = predicate;
   };
@@ -59,47 +59,54 @@ int main() {
   set_vec("location", 0.90);
   set_vec("designer", 0.55);
   set_vec("nationality", 0.50);
-  PredicateSpace space(std::move(vectors), std::move(names));
+  auto space =
+      std::make_unique<PredicateSpace>(std::move(vectors), std::move(names));
 
   // 3. Node-match transformations (Definition 3, Table III).
   TransformationLibrary library;
   library.AddTypeSynonym("Car", "Automobile");
   library.AddNameAbbreviation("GER", "Germany");
 
-  // 4. Pose the query graph: ?car --product-- GER. Both the type synonym
-  //    and the name abbreviation resolve through the library.
-  QueryGraph query;
-  int car = query.AddTargetNode("Car");
-  int ger = query.AddSpecificNode("Country", "GER");
-  query.AddEdge(car, ger, "product");
+  // 4. Register everything as a named dataset of a session — the single
+  //    public entry point.
+  KgSession session;
+  Status registered = session.RegisterDataset(
+      "cars", std::move(graph), std::move(space), std::move(library));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+    return 1;
+  }
 
-  // 5. Run the semantic-guided engine (Section V).
-  SgqEngine engine(&graph, &space, &library);
-  EngineOptions options;
-  options.k = 5;
-  options.tau = 0.6;   // pss threshold
-  options.n_hat = 3;   // a query edge may match up to 3 hops
+  // 5. Pose the query in the text syntax: ?Car --product-- GER. Both the
+  //    type synonym and the name abbreviation resolve through the library.
+  QueryRequest request;
+  request.dataset = "cars";
+  request.query_text = "?Car product GER";
+  request.options.k = 5;
+  request.options.tau = 0.6;   // pss threshold
+  request.options.n_hat = 3;   // a query edge may match up to 3 hops
 
-  Result<QueryResult> result = engine.Query(query, options);
+  Result<QueryResponse> result = session.Query(request);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
 
-  std::printf("top-%zu answers for '?Car --product-- GER':\n", options.k);
-  for (const FinalMatch& m : result.ValueOrDie().matches) {
-    std::printf("  %-10s (score %.3f) via",
-                std::string(graph.NodeName(m.pivot_match)).c_str(), m.score);
-    const PathMatch& path = m.parts[0];
-    for (size_t i = 0; i < path.predicates.size(); ++i) {
-      std::printf(" %s-[%s]->%s",
-                  std::string(graph.NodeName(path.nodes[i])).c_str(),
-                  std::string(graph.PredicateName(path.predicates[i])).c_str(),
-                  std::string(graph.NodeName(path.nodes[i + 1])).c_str());
-    }
-    std::printf("  (pss %.3f)\n", path.pss);
+  const QueryResponse& response = result.ValueOrDie();
+  std::printf("top-%zu answers for '%s':\n", request.options.k,
+              request.query_text.c_str());
+  for (const AnswerDto& answer : response.answers) {
+    std::printf("  %-10s (%s, score %.3f)\n", answer.name.c_str(),
+                answer.type.c_str(), answer.score);
   }
-  std::printf("elapsed: %.2f ms\n", result.ValueOrDie().elapsed_ms);
+  std::printf("elapsed: %.2f ms (%llu sub-queries)\n",
+              response.timings.total_ms,
+              static_cast<unsigned long long>(response.stats.subqueries));
+
+  // 6. The same request is wire-ready: the JSON round-trip produces an
+  //    identical execution.
+  std::printf("\nwire form:\n%s\n",
+              session.QueryJson(EncodeQueryRequestJson(request)).c_str());
   return 0;
 }

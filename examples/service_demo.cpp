@@ -1,7 +1,8 @@
-// Serving demo: one QueryService multiplexing a burst of concurrent SGQ
-// and TBQ queries over a shared thread pool, then reporting its counters —
-// the interactive-engine deployment shape the paper targets (many users,
-// bounded response times).
+// Serving demo: one KgSession multiplexing a burst of concurrent SGQ and
+// TBQ requests over its shared thread pool, then reporting the dataset's
+// serving counters — the interactive-engine deployment shape the paper
+// targets (many users, bounded response times), now entirely behind the
+// public API facade.
 //
 //   $ ./example_service_demo [--threads N] [--clients C] [--rounds R]
 //
@@ -15,10 +16,34 @@
 #include <thread>
 #include <vector>
 
+#include "api/session.h"
 #include "gen/car_domain.h"
-#include "service/query_service.h"
 
 using namespace kgsearch;
+
+namespace {
+
+/// The Q117 request in public-API form; variants per MakeQ117Variant.
+QueryRequest Q117Request(int variant, QueryMode mode) {
+  QueryRequest request;
+  request.dataset = "car";
+  request.mode = mode;
+  request.query_graph = MakeQ117Variant(variant);
+  request.options.k = 10;
+  if (mode == QueryMode::kTbq) {
+    request.options.time_bound_micros = 20'000;  // 20ms interactive budget
+  }
+  return request;
+}
+
+std::vector<uint32_t> AnswerIds(const QueryResponse& response) {
+  std::vector<uint32_t> out;
+  out.reserve(response.answers.size());
+  for (const AnswerDto& a : response.answers) out.push_back(a.id);
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   size_t threads = std::thread::hardware_concurrency();
@@ -40,41 +65,41 @@ int main(int argc, char** argv) {
                  dataset.status().ToString().c_str());
     return 1;
   }
-  const GeneratedDataset& ds = *dataset.ValueOrDie();
-  std::printf("car-domain KG: %zu nodes, %zu edges\n", ds.graph->NumNodes(),
-              ds.graph->NumEdges());
 
-  QueryServiceOptions soptions;
+  KgSessionOptions soptions;
   soptions.num_threads = threads;
-  QueryService service(ds.graph.get(), ds.space.get(), &ds.library,
-                       soptions);
-  std::printf("service up: %zu pool threads, %zu clients x %zu rounds\n\n",
-              service.num_threads(), clients, rounds);
-
-  EngineOptions options;
-  options.k = 10;
+  KgSession session(soptions);
+  GeneratedDataset& ds = *dataset.ValueOrDie();
+  Status registered =
+      session.RegisterDataset("car", std::move(ds.graph), std::move(ds.space),
+                              std::move(ds.library));
+  if (!registered.ok()) {
+    std::fprintf(stderr, "register: %s\n", registered.ToString().c_str());
+    return 1;
+  }
+  for (const DatasetInfo& info : session.ListDatasets()) {
+    std::printf("dataset '%s': %zu nodes, %zu edges\n", info.name.c_str(),
+                info.nodes, info.edges);
+  }
+  std::printf("session up: %zu pool threads, %zu clients x %zu rounds\n\n",
+              session.num_threads(), clients, rounds);
 
   // Single-user reference answers for the four query variants.
-  std::vector<std::vector<NodeId>> reference;
+  std::vector<std::vector<uint32_t>> reference;
   for (int variant = 1; variant <= 4; ++variant) {
-    auto r = service.Query(MakeQ117Variant(variant), options);
+    auto r = session.Query(Q117Request(variant, QueryMode::kSgq));
     if (!r.ok()) {
       std::fprintf(stderr, "variant %d: %s\n", variant,
                    r.status().ToString().c_str());
       return 1;
     }
-    reference.push_back(r.ValueOrDie().AnswerIds());
+    const QueryResponse& response = r.ValueOrDie();
+    reference.push_back(AnswerIds(response));
     std::printf("Q117 variant %d: %zu answers, top answer %s\n", variant,
-                reference.back().size(),
-                reference.back().empty()
-                    ? "-"
-                    : std::string(ds.graph->NodeName(reference.back()[0]))
-                          .c_str());
+                response.answers.size(),
+                response.answers.empty() ? "-"
+                                         : response.answers[0].name.c_str());
   }
-
-  TimeBoundedOptions toptions;
-  toptions.k = 10;
-  toptions.time_bound_micros = 20'000;  // 20ms interactive budget
 
   std::vector<std::thread> sessions;
   std::vector<size_t> mismatches(clients, 0);
@@ -82,19 +107,19 @@ int main(int argc, char** argv) {
   for (size_t c = 0; c < clients; ++c) {
     sessions.emplace_back([&, c] {
       for (size_t round = 0; round < rounds; ++round) {
-        // An async TBQ query rides along with the synchronous SGQ traffic.
-        auto tbq_future =
-            service.SubmitTimeBounded(MakeQ117Variant(3), toptions);
+        // An async TBQ request rides along with the synchronous SGQ traffic.
+        auto tbq_future = session.Submit(Q117Request(3, QueryMode::kTbq));
         for (int variant = 1; variant <= 4; ++variant) {
-          auto r = service.Query(MakeQ117Variant(variant), options);
-          if (!r.ok() || r.ValueOrDie().AnswerIds() !=
-                             reference[static_cast<size_t>(variant - 1)]) {
+          auto r = session.Query(Q117Request(variant, QueryMode::kSgq));
+          if (!r.ok() ||
+              AnswerIds(r.ValueOrDie()) !=
+                  reference[static_cast<size_t>(variant - 1)]) {
             ++mismatches[c];
           }
         }
         auto tbq = tbq_future.get();
         if (tbq.ok()) {
-          tbq_answer_counts[c] += tbq.ValueOrDie().matches.size();
+          tbq_answer_counts[c] += tbq.ValueOrDie().answers.size();
         }
       }
     });
@@ -106,8 +131,14 @@ int main(int argc, char** argv) {
   std::printf("\nall sessions done; answer mismatches vs. reference: %zu\n",
               total_mismatches);
 
-  const ServiceStatsSnapshot stats = service.Stats();
-  std::printf("\n-- service counters --\n");
+  auto stats_result = session.Stats("car");
+  if (!stats_result.ok()) {
+    std::fprintf(stderr, "stats: %s\n",
+                 stats_result.status().ToString().c_str());
+    return 1;
+  }
+  const ServiceStatsSnapshot stats = stats_result.ValueOrDie();
+  std::printf("\n-- serving counters (dataset 'car') --\n");
   std::printf("queries total      %llu (SGQ %llu, TBQ %llu; failed %llu)\n",
               static_cast<unsigned long long>(stats.queries_total),
               static_cast<unsigned long long>(stats.sgq_queries),
@@ -124,7 +155,7 @@ int main(int argc, char** argv) {
   std::printf("matcher cache       %.0f%% hit rate (%llu hits)\n",
               100.0 * stats.matcher_cache_hit_rate(),
               static_cast<unsigned long long>(stats.matcher_cache_hits));
-  std::printf("queue depth        %zu, in flight %zu\n", stats.queue_depth,
-              stats.in_flight);
+  std::printf("session queue      %zu, in flight %zu\n",
+              session.queue_depth(), stats.in_flight);
   return total_mismatches == 0 ? 0 : 1;
 }

@@ -1,0 +1,156 @@
+// Versioned request/response DTOs of the public API, with JSON
+// encode/decode so requests and results are wire-ready.
+//
+// Design rules:
+//  - The DTOs are plain value types with defaulted equality, so
+//    decode(encode(x)) == x is testable exactly (doubles are written with
+//    shortest-round-trip precision by util/json).
+//  - RequestOptions flattens the per-query knobs of EngineOptions and
+//    TimeBoundedOptions into one struct whose defaults match the engine
+//    defaults bit-for-bit; ToEngineOptions/ToTimeBoundedOptions are the only
+//    mapping, so a default-constructed request behaves exactly like a direct
+//    engine call. Serving-layer knobs (threads, executor) are deliberately
+//    not part of the wire protocol.
+//  - Decoders are total: any malformed document returns
+//    kParseError/kInvalidArgument, never an abort.
+#ifndef KGSEARCH_API_PROTOCOL_H_
+#define KGSEARCH_API_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/time_bounded.h"
+#include "util/json.h"
+
+namespace kgsearch {
+
+/// Wire protocol version; encoded as "v" and checked by every decoder.
+inline constexpr int64_t kApiProtocolVersion = 1;
+
+/// Which engine answers the request.
+enum class QueryMode {
+  kSgq,  ///< optimal semantic-guided query (Problem 1)
+  kTbq,  ///< time-bounded approximate query (Problem 2)
+};
+
+const char* QueryModeName(QueryMode mode);
+Result<QueryMode> ParseQueryModeName(std::string_view name);
+
+/// kInvalidArgument when `version` is not the protocol this build speaks;
+/// shared by the JSON decoders and the in-process DTO entry points.
+Status CheckProtocolVersion(int64_t version);
+
+/// Flattened per-query knobs covering both modes (TBQ-only fields are
+/// ignored in SGQ mode and vice versa). Defaults equal the engine defaults.
+struct RequestOptions {
+  // Shared.
+  size_t k = 10;
+  double tau = 0.8;
+  size_t n_hat = 4;
+  PivotStrategy pivot_strategy = PivotStrategy::kMinCost;
+  uint64_t seed = 42;
+  DedupMode dedup = DedupMode::kPaperNodeVisited;
+  uint64_t max_expansions = 4'000'000;
+  // SGQ only.
+  size_t budget_factor = 3;
+  size_t max_retry_rounds = 2;
+  size_t matches_per_target = 1;
+  // TBQ only.
+  int64_t time_bound_micros = 100'000;
+  double alert_ratio = 0.8;
+  double per_match_assembly_micros = -1.0;
+  size_t match_cap = 0;
+  size_t stop_check_interval = 64;
+
+  bool operator==(const RequestOptions&) const = default;
+};
+
+/// The engine options equivalent to `options` (executor/threads left at
+/// their defaults; the serving layer injects its own executor).
+EngineOptions ToEngineOptions(const RequestOptions& options);
+TimeBoundedOptions ToTimeBoundedOptions(const RequestOptions& options);
+
+/// One query request against a named dataset. The query is given either as
+/// text (api/query_text grammar) or as an explicit QueryGraph; when both
+/// are present the graph wins.
+struct QueryRequest {
+  int64_t version = kApiProtocolVersion;
+  std::string dataset;
+  QueryMode mode = QueryMode::kSgq;
+  std::string query_text;
+  std::optional<QueryGraph> query_graph;
+  RequestOptions options;
+
+  bool operator==(const QueryRequest&) const = default;
+};
+
+/// One ranked answer: the matched pivot entity with its display metadata.
+struct AnswerDto {
+  uint32_t id = 0;       ///< NodeId in the dataset's graph
+  std::string name;
+  std::string type;
+  double score = 0.0;    ///< Sm(u^p), descending across the answer list
+
+  bool operator==(const AnswerDto&) const = default;
+};
+
+/// Per-stage wall-clock timings of one request.
+struct ResponseTimings {
+  double parse_ms = 0.0;   ///< query-text parsing (0 for QueryGraph input)
+  double engine_ms = 0.0;  ///< engine execution (decompose+search+assembly)
+  double total_ms = 0.0;   ///< end-to-end inside the facade
+
+  bool operator==(const ResponseTimings&) const = default;
+};
+
+/// Aggregated engine counters of one request.
+struct ResponseStats {
+  uint64_t subqueries = 0;          ///< sub-query path graphs searched
+  uint64_t expanded = 0;            ///< A* states expanded, summed
+  uint64_t generated = 0;           ///< sub-query matches emitted, summed
+  uint64_t ta_sorted_accesses = 0;  ///< TA assembly sorted accesses
+  bool ta_early_terminated = false;
+
+  bool operator==(const ResponseStats&) const = default;
+};
+
+/// The answer to one QueryRequest.
+struct QueryResponse {
+  int64_t version = kApiProtocolVersion;
+  std::string dataset;
+  QueryMode mode = QueryMode::kSgq;
+  /// TBQ only: true when the time estimator stopped a search early.
+  bool stopped_by_time = false;
+  std::vector<AnswerDto> answers;  ///< descending score
+  ResponseTimings timings;
+  ResponseStats stats;
+
+  bool operator==(const QueryResponse&) const = default;
+};
+
+// ----- JSON codecs -----
+
+JsonValue EncodeQueryGraph(const QueryGraph& query);
+Result<QueryGraph> DecodeQueryGraph(const JsonValue& json);
+
+JsonValue EncodeQueryRequest(const QueryRequest& request);
+Result<QueryRequest> DecodeQueryRequest(const JsonValue& json);
+std::string EncodeQueryRequestJson(const QueryRequest& request);
+Result<QueryRequest> DecodeQueryRequestJson(std::string_view text);
+
+JsonValue EncodeQueryResponse(const QueryResponse& response);
+Result<QueryResponse> DecodeQueryResponse(const JsonValue& json);
+std::string EncodeQueryResponseJson(const QueryResponse& response);
+Result<QueryResponse> DecodeQueryResponseJson(std::string_view text);
+
+/// Encodes a failure as the wire error document
+/// {"v":1,"error":{"code":"InvalidArgument","message":"..."}}.
+std::string EncodeErrorJson(const Status& status);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_API_PROTOCOL_H_

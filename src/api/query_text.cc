@@ -1,0 +1,78 @@
+#include "api/query_text.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+Result<QueryGraph> ParseQueryText(std::string_view text,
+                                  const KnowledgeGraph* graph) {
+  if (Trim(text).empty()) {
+    return Status::InvalidArgument("query text is empty");
+  }
+
+  QueryGraph query;
+  std::map<std::string, int> nodes;  // token -> query node index
+  auto node_of = [&](const std::string& token) -> Result<int> {
+    auto it = nodes.find(token);
+    if (it != nodes.end()) return it->second;
+    int idx;
+    if (token[0] == '?') {
+      if (token.size() == 1) {
+        return Status::ParseError("target node '?' needs a type");
+      }
+      idx = query.AddTargetNode(token.substr(1));
+    } else {
+      std::string type = "Thing";
+      if (graph != nullptr) {
+        NodeId u = graph->FindNode(token);
+        if (u != kInvalidNode) type = std::string(graph->NodeTypeName(u));
+      }
+      idx = query.AddSpecificNode(type, token);
+    }
+    nodes.emplace(token, idx);
+    return idx;
+  };
+
+  const std::vector<std::string> parts = Split(text, ';');
+  for (size_t e = 0; e < parts.size(); ++e) {
+    std::string_view edge = Trim(parts[e]);
+    if (edge.empty()) {
+      // An empty segment is a grammar error, not noise: it means a dangling
+      // or doubled ';' and usually a truncated query.
+      return Status::ParseError(
+          e + 1 == parts.size() ? "dangling ';' after the last edge"
+                                : "empty edge (doubled or leading ';')");
+    }
+    std::vector<std::string> tokens;
+    for (const std::string& t : Split(edge, ' ')) {
+      if (!Trim(t).empty()) tokens.emplace_back(Trim(t));
+    }
+    if (tokens.size() != 3) {
+      return Status::ParseError(
+          StrFormat("each edge needs 'node predicate node', got %zu "
+                    "token(s) in '%s'",
+                    tokens.size(), std::string(edge).c_str()));
+    }
+    if (tokens[1][0] == '?') {
+      return Status::ParseError("predicate '" + tokens[1] +
+                                "' must not start with '?'");
+    }
+    Result<int> from = node_of(tokens[0]);
+    KG_RETURN_NOT_OK(from.status());
+    Result<int> to = node_of(tokens[2]);
+    KG_RETURN_NOT_OK(to.status());
+    if (from.ValueOrDie() == to.ValueOrDie()) {
+      return Status::InvalidArgument("self-loop edge on '" + tokens[0] +
+                                     "' is not a valid query edge");
+    }
+    query.AddEdge(from.ValueOrDie(), to.ValueOrDie(), tokens[1]);
+  }
+  KG_RETURN_NOT_OK(query.Validate());
+  return query;
+}
+
+}  // namespace kgsearch

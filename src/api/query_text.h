@@ -1,0 +1,38 @@
+// Library-grade parser for the textual query syntax (promoted out of the
+// CLI so every caller — CLI, JSON protocol, tests — shares one grammar).
+//
+// Grammar (whitespace-separated tokens, edges separated by ';'):
+//   query     := edge (';' edge)*
+//   edge      := node predicate node
+//   node      := '?' TYPE        a target node, keyed by its type token
+//              | NAME            a specific node (known entity)
+//   predicate := LABEL           must not start with '?'
+//
+// Repeating a node token reuses the same query node, so chains and stars
+// compose naturally:
+//   "?Automobile engine ?Device; ?Device made_in Germany"
+// The first target token is conventionally the answer node (index order
+// follows first appearance). Every failure mode is a recoverable Status —
+// dangling ';', malformed edges, bare '?', self-loop edges, and empty
+// queries return kParseError/kInvalidArgument instead of aborting.
+#ifndef KGSEARCH_API_QUERY_TEXT_H_
+#define KGSEARCH_API_QUERY_TEXT_H_
+
+#include <string_view>
+
+#include "core/query_graph.h"
+#include "kg/graph.h"
+
+namespace kgsearch {
+
+/// Parses the edge-list query syntax into a validated QueryGraph.
+///
+/// `graph` (optional) infers the type of specific nodes whose name resolves
+/// to a known entity; unknown or graph-less specific nodes get type
+/// "Thing". The result always passes QueryGraph::Validate().
+Result<QueryGraph> ParseQueryText(std::string_view text,
+                                  const KnowledgeGraph* graph = nullptr);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_API_QUERY_TEXT_H_

@@ -1,0 +1,292 @@
+#include "api/session.h"
+
+#include <utility>
+
+#include "api/query_text.h"
+#include "kg/triple_io.h"
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+namespace {
+
+void FillAnswers(const KnowledgeGraph& graph,
+                 const std::vector<FinalMatch>& matches,
+                 QueryResponse* response) {
+  response->answers.reserve(matches.size());
+  for (const FinalMatch& m : matches) {
+    AnswerDto answer;
+    answer.id = m.pivot_match;
+    answer.name = std::string(graph.NodeName(m.pivot_match));
+    answer.type = std::string(graph.NodeTypeName(m.pivot_match));
+    answer.score = m.score;
+    response->answers.push_back(std::move(answer));
+  }
+}
+
+void FillStats(const std::vector<SearchStats>& subquery_stats,
+               const TaStats& ta_stats, ResponseStats* stats) {
+  stats->subqueries = subquery_stats.size();
+  for (const SearchStats& s : subquery_stats) {
+    stats->expanded += s.expanded;
+    stats->generated += s.goals_emitted;
+  }
+  stats->ta_sorted_accesses = ta_stats.sorted_accesses;
+  stats->ta_early_terminated = ta_stats.early_terminated;
+}
+
+}  // namespace
+
+KgSession::KgSession(KgSessionOptions options, const Clock* clock)
+    : clock_(clock),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(
+          DefaultPoolThreads(options.num_threads))) {}
+
+KgSession::~KgSession() {
+  // Async tasks capture `this` and dataset pointers; finish them before
+  // services, datasets, or the pool are torn down.
+  outstanding_.Wait();
+}
+
+Status KgSession::RegisterDataset(const std::string& name,
+                                  std::unique_ptr<KnowledgeGraph> graph,
+                                  std::unique_ptr<PredicateSpace> space,
+                                  TransformationLibrary library) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  if (graph == nullptr || space == nullptr) {
+    return Status::InvalidArgument("dataset needs a graph and a space");
+  }
+  if (!graph->finalized()) {
+    return Status::InvalidArgument("dataset graph must be finalized");
+  }
+  if (space->NumPredicates() < graph->NumPredicates()) {
+    return Status::InvalidArgument(StrFormat(
+        "predicate space covers %zu of the graph's %zu predicates",
+        space->NumPredicates(), graph->NumPredicates()));
+  }
+
+  auto dataset = std::make_unique<Dataset>();
+  dataset->graph = std::move(graph);
+  dataset->space = std::move(space);
+  dataset->library = std::move(library);
+  QueryServiceOptions service_options;
+  service_options.executor = pool_.get();
+  service_options.decomposition_cache_capacity =
+      options_.decomposition_cache_capacity;
+  service_options.matcher_cache_capacity = options_.matcher_cache_capacity;
+  dataset->service = std::make_unique<QueryService>(
+      dataset->graph.get(), dataset->space.get(), &dataset->library,
+      service_options, clock_);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = datasets_.emplace(name, std::move(dataset));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset already registered: " + name);
+  }
+  return Status::OK();
+}
+
+Status KgSession::LoadDataset(const std::string& name,
+                              const DatasetLoadOptions& options) {
+  if (HasDataset(name)) {
+    // Checked again under the registry lock, but failing before parsing and
+    // training keeps the common mistake cheap.
+    return Status::AlreadyExists("dataset already registered: " + name);
+  }
+  if (options.graph_path.empty()) {
+    return Status::InvalidArgument("DatasetLoadOptions.graph_path is empty");
+  }
+
+  Result<std::string> text = ReadFileToString(options.graph_path);
+  KG_RETURN_NOT_OK(text.status());
+  Result<std::unique_ptr<KnowledgeGraph>> graph =
+      EndsWith(options.graph_path, ".tsv")
+          ? ParseTsvTriples(text.ValueOrDie())
+          : ParseNTriples(text.ValueOrDie());
+  KG_RETURN_NOT_OK(graph.status());
+
+  std::unique_ptr<PredicateSpace> space;
+  if (!options.space_path.empty() && !options.train_transe) {
+    Result<std::string> space_text = ReadFileToString(options.space_path);
+    KG_RETURN_NOT_OK(space_text.status());
+    Result<PredicateSpace> parsed = PredicateSpace::Deserialize(
+        space_text.ValueOrDie(), graph.ValueOrDie().get());
+    KG_RETURN_NOT_OK(parsed.status());
+    space = std::make_unique<PredicateSpace>(std::move(parsed).ValueOrDie());
+  } else {
+    Result<TransEEmbedding> embedding =
+        TrainTransE(*graph.ValueOrDie(), options.transe_config);
+    KG_RETURN_NOT_OK(embedding.status());
+    space = std::make_unique<PredicateSpace>(PredicateSpace::FromTransE(
+        *graph.ValueOrDie(), embedding.ValueOrDie()));
+  }
+
+  TransformationLibrary library;
+  if (!options.library_path.empty()) {
+    Result<std::string> library_text = ReadFileToString(options.library_path);
+    KG_RETURN_NOT_OK(library_text.status());
+    Result<TransformationLibrary> parsed =
+        TransformationLibrary::Deserialize(library_text.ValueOrDie());
+    KG_RETURN_NOT_OK(parsed.status());
+    library = std::move(parsed).ValueOrDie();
+  }
+
+  return RegisterDataset(name, std::move(graph).ValueOrDie(),
+                         std::move(space), std::move(library));
+}
+
+KgSession::Dataset* KgSession::FindDataset(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+bool KgSession::HasDataset(const std::string& name) const {
+  return FindDataset(name) != nullptr;
+}
+
+std::vector<DatasetInfo> KgSession::ListDatasets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DatasetInfo> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, dataset] : datasets_) {
+    DatasetInfo info;
+    info.name = name;
+    info.nodes = dataset->graph->NumNodes();
+    info.edges = dataset->graph->NumEdges();
+    info.predicates = dataset->graph->NumPredicates();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<QueryResponse> KgSession::Query(const QueryRequest& request) {
+  KG_RETURN_NOT_OK(CheckProtocolVersion(request.version));
+  Dataset* dataset = FindDataset(request.dataset);
+  if (dataset == nullptr) {
+    return Status::NotFound("unknown dataset: \"" + request.dataset + "\"");
+  }
+
+  StopWatch total(clock_);
+  QueryResponse response;
+  response.dataset = request.dataset;
+  response.mode = request.mode;
+
+  // Hot path: never copy a caller-supplied QueryGraph, just borrow it.
+  QueryGraph parsed_storage;
+  const QueryGraph* query = nullptr;
+  if (request.query_graph.has_value()) {
+    query = &*request.query_graph;
+  } else if (request.query_text.empty()) {
+    return Status::InvalidArgument(
+        "request needs query_text or query_graph");
+  } else {
+    StopWatch parse_watch(clock_);
+    Result<QueryGraph> parsed =
+        ParseQueryText(request.query_text, dataset->graph.get());
+    KG_RETURN_NOT_OK(parsed.status());
+    parsed_storage = std::move(parsed).ValueOrDie();
+    query = &parsed_storage;
+    response.timings.parse_ms = parse_watch.ElapsedMillis();
+  }
+  // The API boundary check: a malformed QueryGraph (disconnected, no
+  // target, empty predicate, ...) must answer kInvalidArgument, never trip
+  // a KG_CHECK inside the engine.
+  KG_RETURN_NOT_OK(query->Validate());
+
+  if (request.mode == QueryMode::kSgq) {
+    Result<QueryResult> result =
+        dataset->service->Query(*query, ToEngineOptions(request.options));
+    KG_RETURN_NOT_OK(result.status());
+    const QueryResult& r = result.ValueOrDie();
+    FillAnswers(*dataset->graph, r.matches, &response);
+    FillStats(r.subquery_stats, r.ta_stats, &response.stats);
+    response.timings.engine_ms = r.elapsed_ms;
+  } else {
+    Result<TimeBoundedResult> result = dataset->service->QueryTimeBounded(
+        *query, ToTimeBoundedOptions(request.options));
+    KG_RETURN_NOT_OK(result.status());
+    const TimeBoundedResult& r = result.ValueOrDie();
+    FillAnswers(*dataset->graph, r.matches, &response);
+    FillStats(r.subquery_stats, r.ta_stats, &response.stats);
+    response.stopped_by_time = r.stopped_by_time;
+    response.timings.engine_ms = r.elapsed_ms;
+  }
+  response.timings.total_ms = total.ElapsedMillis();
+  return response;
+}
+
+std::future<Result<QueryResponse>> KgSession::Submit(QueryRequest request) {
+  return SubmitTracked<Result<QueryResponse>>(
+      pool_.get(), &outstanding_, &queued_,
+      [this, request = std::move(request)]() { return Query(request); },
+      Result<QueryResponse>(Status::Internal("session is shutting down")));
+}
+
+std::vector<Result<QueryResponse>> KgSession::QueryBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<std::future<Result<QueryResponse>>> futures;
+  futures.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    futures.push_back(Submit(request));
+  }
+  std::vector<Result<QueryResponse>> out;
+  out.reserve(requests.size());
+  for (auto& fut : futures) {
+    out.push_back(fut.get());
+  }
+  return out;
+}
+
+std::string KgSession::QueryJson(std::string_view request_json) {
+  Result<QueryRequest> request = DecodeQueryRequestJson(request_json);
+  if (!request.ok()) return EncodeErrorJson(request.status());
+  Result<QueryResponse> response = Query(request.ValueOrDie());
+  if (!response.ok()) return EncodeErrorJson(response.status());
+  return EncodeQueryResponseJson(response.ValueOrDie());
+}
+
+Result<QueryGraph> KgSession::ParseQuery(const std::string& dataset,
+                                         std::string_view text) const {
+  Dataset* found = FindDataset(dataset);
+  if (found == nullptr) {
+    return Status::NotFound("unknown dataset: \"" + dataset + "\"");
+  }
+  return ParseQueryText(text, found->graph.get());
+}
+
+Result<ServiceStatsSnapshot> KgSession::Stats(
+    const std::string& dataset) const {
+  Dataset* found = FindDataset(dataset);
+  if (found == nullptr) {
+    return Status::NotFound("unknown dataset: \"" + dataset + "\"");
+  }
+  return found->service->Stats();
+}
+
+QueryService* KgSession::service(const std::string& dataset) const {
+  Dataset* found = FindDataset(dataset);
+  return found == nullptr ? nullptr : found->service.get();
+}
+
+const KnowledgeGraph* KgSession::graph(const std::string& dataset) const {
+  Dataset* found = FindDataset(dataset);
+  return found == nullptr ? nullptr : found->graph.get();
+}
+
+const PredicateSpace* KgSession::space(const std::string& dataset) const {
+  Dataset* found = FindDataset(dataset);
+  return found == nullptr ? nullptr : found->space.get();
+}
+
+const TransformationLibrary* KgSession::library(
+    const std::string& dataset) const {
+  Dataset* found = FindDataset(dataset);
+  return found == nullptr ? nullptr : &found->library;
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,175 @@
+// KgSession: the public front door of the library.
+//
+// One session owns a named dataset registry — each dataset is a
+// (KnowledgeGraph, PredicateSpace, TransformationLibrary) triple served by
+// its own QueryService — and one process-wide ThreadPool shared by every
+// dataset's service, so N datasets never mean N pools. Datasets come from
+// the in-memory builders (RegisterDataset) or from disk (LoadDataset:
+// N-Triples/TSV graphs, optional serialized predicate space or on-the-fly
+// TransE training, optional transformation-library TSV).
+//
+// Queries enter as QueryRequest DTOs (api/protocol.h) carrying query text
+// (api/query_text grammar) or an explicit QueryGraph, and leave as
+// QueryResponse DTOs with ranked answers, per-stage timings, and engine
+// stats; QueryJson speaks the JSON wire form end to end. Execution routes
+// through the dataset's QueryService unchanged, so facade answers are
+// bit-identical to direct engine calls (the api differential tests assert
+// this). Malformed input of any kind — unknown dataset, bad text, invalid
+// query graph — returns a Status; the facade never KG_CHECK-aborts on user
+// input.
+//
+// Thread-safety: all public methods may be called concurrently. Dataset
+// registration is append-only (no removal), so dataset pointers stay valid
+// for the session's lifetime.
+#ifndef KGSEARCH_API_SESSION_H_
+#define KGSEARCH_API_SESSION_H_
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/protocol.h"
+#include "embedding/transe.h"
+#include "match/transformation_library.h"
+#include "service/query_service.h"
+
+namespace kgsearch {
+
+/// Session-wide knobs; per-dataset services inherit the cache capacities.
+struct KgSessionOptions {
+  /// Worker threads in the shared pool; 0 = hardware concurrency (min 2).
+  size_t num_threads = 0;
+  /// Decomposition-plan cache entries per dataset; 0 disables.
+  size_t decomposition_cache_capacity = 512;
+  /// Matcher candidate cache entries per dataset per kind; 0 disables.
+  size_t matcher_cache_capacity = 4096;
+};
+
+/// How to load one dataset from disk.
+struct DatasetLoadOptions {
+  /// Graph file: ".tsv" parses as TSV triples, anything else as N-Triples.
+  std::string graph_path;
+  /// Serialized PredicateSpace (optional; empty = train TransE).
+  std::string space_path;
+  /// Transformation-library TSV (optional; empty = no alias records).
+  std::string library_path;
+  /// Train TransE even when space_path is set.
+  bool train_transe = false;
+  /// TransE hyper-parameters used when training.
+  TransEConfig transe_config = {.dim = 48, .epochs = 60};
+};
+
+/// Registry listing entry.
+struct DatasetInfo {
+  std::string name;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t predicates = 0;
+};
+
+/// The facade: dataset registry + request execution over one shared pool.
+class KgSession {
+ public:
+  explicit KgSession(KgSessionOptions options = {},
+                     const Clock* clock = SystemClock::Default());
+  /// Waits for in-flight async requests, then tears down services and pool.
+  ~KgSession();
+
+  KgSession(const KgSession&) = delete;
+  KgSession& operator=(const KgSession&) = delete;
+
+  // ----- dataset registry -----
+
+  /// Registers an in-memory dataset under `name` (graph must be finalized).
+  /// kAlreadyExists when the name is taken; kInvalidArgument on null parts.
+  Status RegisterDataset(const std::string& name,
+                         std::unique_ptr<KnowledgeGraph> graph,
+                         std::unique_ptr<PredicateSpace> space,
+                         TransformationLibrary library);
+
+  /// Loads a dataset from disk per `options` and registers it.
+  Status LoadDataset(const std::string& name,
+                     const DatasetLoadOptions& options);
+
+  bool HasDataset(const std::string& name) const;
+  std::vector<DatasetInfo> ListDatasets() const;
+
+  // ----- query execution -----
+
+  /// Synchronous request execution (SGQ or TBQ per request.mode).
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// Asynchronous execution on the shared pool.
+  std::future<Result<QueryResponse>> Submit(QueryRequest request);
+
+  /// Executes a batch concurrently; results come back in request order
+  /// (each entry succeeds or fails independently).
+  std::vector<Result<QueryResponse>> QueryBatch(
+      const std::vector<QueryRequest>& requests);
+
+  /// The JSON wire entry point: decodes a request document, executes it,
+  /// and encodes the response — or an {"error": ...} document for any
+  /// failure. Never throws or aborts on malformed input.
+  std::string QueryJson(std::string_view request_json);
+
+  /// Parses query text against `dataset`'s graph (type inference for
+  /// specific nodes) without executing it.
+  Result<QueryGraph> ParseQuery(const std::string& dataset,
+                                std::string_view text) const;
+
+  // ----- introspection (parity tests, demos, stats) -----
+
+  /// Per-dataset serving counters; kNotFound for unknown names. Note that
+  /// `queue_depth` there covers only QueryService-level submissions;
+  /// facade async requests (Submit/QueryBatch) queue session-wide — read
+  /// KgSession::queue_depth() for that load signal.
+  Result<ServiceStatsSnapshot> Stats(const std::string& dataset) const;
+
+  /// Facade async requests submitted but not yet started (a load signal,
+  /// racy by nature).
+  size_t queue_depth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// Borrowed pointers, valid for the session's lifetime; nullptr when the
+  /// dataset is unknown.
+  QueryService* service(const std::string& dataset) const;
+  const KnowledgeGraph* graph(const std::string& dataset) const;
+  const PredicateSpace* space(const std::string& dataset) const;
+  const TransformationLibrary* library(const std::string& dataset) const;
+
+  size_t num_threads() const { return pool_->num_threads(); }
+
+ private:
+  struct Dataset {
+    std::unique_ptr<KnowledgeGraph> graph;
+    std::unique_ptr<PredicateSpace> space;
+    TransformationLibrary library;
+    std::unique_ptr<QueryService> service;
+  };
+
+  /// Stable pointer lookup under the registry lock.
+  Dataset* FindDataset(const std::string& name) const;
+
+  const Clock* clock_;
+  KgSessionOptions options_;
+  /// Declared before datasets_: services (which reference the pool) are
+  /// destroyed first, the pool last.
+  std::unique_ptr<ThreadPool> pool_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_;
+  /// Facade async requests enqueued but not yet started.
+  std::atomic<size_t> queued_{0};
+  /// Async requests not yet finished; drained by the destructor before any
+  /// dataset or the pool is torn down.
+  WaitGroup outstanding_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_API_SESSION_H_

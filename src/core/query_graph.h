@@ -17,6 +17,7 @@ struct QueryNode {
   std::string name;  ///< empty for target nodes
 
   bool is_specific() const { return !name.empty(); }
+  bool operator==(const QueryNode&) const = default;
 };
 
 /// A query edge with a predicate label (undirected for matching purposes).
@@ -24,6 +25,8 @@ struct QueryEdge {
   int from = -1;
   int to = -1;
   std::string predicate;
+
+  bool operator==(const QueryEdge&) const = default;
 };
 
 /// A small labeled graph expressing the user's intent.
@@ -79,6 +82,9 @@ class QueryGraph {
   /// no isolated nodes (every node touched by an edge unless the graph is a
   /// single node).
   Status Validate() const;
+
+  /// Structural equality (same nodes and edges, in order).
+  bool operator==(const QueryGraph&) const = default;
 
  private:
   std::vector<QueryNode> nodes_;

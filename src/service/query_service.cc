@@ -1,6 +1,5 @@
 #include "service/query_service.h"
 
-#include <thread>
 #include <utility>
 
 #include "util/string_util.h"
@@ -59,14 +58,6 @@ class QueryService::FlightTracker {
   bool finished_ = false;
 };
 
-namespace {
-size_t EffectiveThreads(size_t requested) {
-  if (requested > 0) return requested;
-  const size_t hw = std::thread::hardware_concurrency();
-  return hw < 2 ? 2 : hw;
-}
-}  // namespace
-
 QueryService::QueryService(const KnowledgeGraph* graph,
                            const PredicateSpace* space,
                            const TransformationLibrary* library,
@@ -76,8 +67,11 @@ QueryService::QueryService(const KnowledgeGraph* graph,
       tbq_(graph, space, library, clock),
       decomposition_cache_(options.decomposition_cache_capacity),
       start_micros_(clock->NowMicros()),
-      pool_(std::make_unique<ThreadPool>(
-          EffectiveThreads(options.num_threads))) {
+      external_pool_(options.executor),
+      owned_pool_(options.executor != nullptr
+                      ? nullptr
+                      : std::make_unique<ThreadPool>(
+                            DefaultPoolThreads(options.num_threads))) {
   if (options.matcher_cache_capacity > 0) {
     matcher_cache_ = std::make_shared<MatcherCandidateCache>(
         options.matcher_cache_capacity);
@@ -86,7 +80,12 @@ QueryService::QueryService(const KnowledgeGraph* graph,
   }
 }
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() {
+  // Async tasks capture `this`; they must all finish before members are
+  // destroyed. With an owned pool its destructor would drain them anyway,
+  // but an external executor outlives the service, so wait explicitly.
+  outstanding_.Wait();
+}
 
 Result<Decomposition> QueryService::CachedDecomposition(
     const QueryGraph& query, PivotStrategy strategy, size_t n_hat,
@@ -105,7 +104,7 @@ Result<Decomposition> QueryService::CachedDecomposition(
 
 Result<QueryResult> QueryService::Query(const QueryGraph& query,
                                         EngineOptions options) {
-  options.executor = pool_.get();
+  options.executor = executor();
   FlightTracker tracker(this, &sgq_queries_);
   Result<Decomposition> decomposition = CachedDecomposition(
       query, options.pivot_strategy, options.n_hat, options.seed);
@@ -121,25 +120,9 @@ Result<QueryResult> QueryService::Query(const QueryGraph& query,
 
 template <typename ResultT, typename RunFn>
 std::future<ResultT> QueryService::SubmitImpl(RunFn run) {
-  auto promise = std::make_shared<std::promise<ResultT>>();
-  std::future<ResultT> fut = promise->get_future();
-  queued_.fetch_add(1, std::memory_order_relaxed);
-  const bool accepted =
-      pool_->TrySubmit([this, promise, run = std::move(run)]() mutable {
-        queued_.fetch_sub(1, std::memory_order_relaxed);
-        // A throwing query must reach the client through the future, not
-        // abandon the promise (future_error::broken_promise).
-        try {
-          promise->set_value(run());
-        } catch (...) {
-          promise->set_exception(std::current_exception());
-        }
-      });
-  if (!accepted) {
-    queued_.fetch_sub(1, std::memory_order_relaxed);
-    promise->set_value(Status::Internal("query service is shutting down"));
-  }
-  return fut;
+  return SubmitTracked<ResultT>(
+      executor(), &outstanding_, &queued_, std::move(run),
+      ResultT(Status::Internal("query service is shutting down")));
 }
 
 std::future<Result<QueryResult>> QueryService::Submit(QueryGraph query,
@@ -152,7 +135,7 @@ std::future<Result<QueryResult>> QueryService::Submit(QueryGraph query,
 
 Result<TimeBoundedResult> QueryService::QueryTimeBounded(
     const QueryGraph& query, TimeBoundedOptions options) {
-  options.executor = pool_.get();
+  options.executor = executor();
   FlightTracker tracker(this, &tbq_queries_);
   Result<Decomposition> decomposition = CachedDecomposition(
       query, options.pivot_strategy, options.n_hat, options.seed);

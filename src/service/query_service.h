@@ -37,8 +37,14 @@ namespace kgsearch {
 /// TimeBoundedOptions).
 struct QueryServiceOptions {
   /// Worker threads in the shared pool; 0 = std::thread::hardware_concurrency
-  /// (minimum 2 so async queries overlap even on tiny machines).
+  /// (minimum 2 so async queries overlap even on tiny machines). Ignored
+  /// when `executor` is set.
   size_t num_threads = 0;
+  /// Non-owning process-wide executor. When set, the service runs all
+  /// queries on it instead of owning a pool, so many services (e.g. one per
+  /// dataset in a KgSession) multiplex over one pool. Must outlive the
+  /// service.
+  ThreadPool* executor = nullptr;
   /// Entries in the decomposition plan cache; 0 disables it.
   size_t decomposition_cache_capacity = 512;
   /// Entries per kind (name/type) in the shared matcher candidate cache;
@@ -60,7 +66,8 @@ class QueryService {
                QueryServiceOptions options = {},
                const Clock* clock = SystemClock::Default());
 
-  /// Drains queued async queries, then joins the pool.
+  /// Waits for every submitted async query to finish; when the pool is
+  /// owned (no external executor), then joins it.
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -86,7 +93,11 @@ class QueryService {
   /// Point-in-time counter snapshot.
   ServiceStatsSnapshot Stats() const;
 
-  size_t num_threads() const { return pool_->num_threads(); }
+  size_t num_threads() const { return executor()->num_threads(); }
+  /// The executor queries run on (owned or externally shared).
+  ThreadPool* executor() const {
+    return external_pool_ != nullptr ? external_pool_ : owned_pool_.get();
+  }
   const SgqEngine& sgq_engine() const { return sgq_; }
   const TbqEngine& tbq_engine() const { return tbq_; }
 
@@ -121,9 +132,12 @@ class QueryService {
   LatencyHistogram latency_;
   int64_t start_micros_ = 0;
 
-  /// Declared last: destroyed first, so queued tasks (which reference the
-  /// members above) finish before anything else is torn down.
-  std::unique_ptr<ThreadPool> pool_;
+  /// Async submissions not yet finished; the destructor waits on this
+  /// before any member is torn down, which keeps destruction safe even
+  /// when the tasks run on an external (longer-lived) executor.
+  WaitGroup outstanding_;
+  ThreadPool* external_pool_ = nullptr;  ///< non-owning; null when owned
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< null with an external pool
 };
 
 }  // namespace kgsearch

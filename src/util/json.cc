@@ -1,0 +1,499 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+JsonValue& JsonValue::Set(std::string_view key, JsonValue value) {
+  KG_CHECK(is_object());
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  KG_CHECK(is_object());
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kNumber:
+      if (is_int_ != other.is_int_ || is_uint_ != other.is_uint_) {
+        return false;
+      }
+      if (is_int_) return int_ == other.int_;
+      if (is_uint_) return uint_ == other.uint_;
+      return number_ == other.number_;
+    case Kind::kString:
+      return string_ == other.string_;
+    case Kind::kArray:
+      return items_ == other.items_;
+    case Kind::kObject:
+      return members_ == other.members_;
+  }
+  return false;
+}
+
+namespace {
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in. This is the
+    // one value class that does not round-trip (see the header comment) —
+    // a decoder reading the field will report it missing/mistyped.
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  KG_CHECK(ec == std::errc());
+  std::string_view token(buf, static_cast<size_t>(ptr - buf));
+  *out += token;
+  // A whole-valued double prints as "-1"; keep it a non-integer on reparse
+  // so Parse(Dump(x)) == x preserves the number flavor.
+  if (token.find_first_of(".eE") == std::string_view::npos) *out += ".0";
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      if (is_int_) {
+        *out += std::to_string(int_);
+      } else if (is_uint_) {
+        *out += std::to_string(uint_);
+      } else {
+        AppendNumber(number_, out);
+      }
+      break;
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        items_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendEscaped(members_[i].first, out);
+        out->push_back(':');
+        members_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the input; depth-limited so adversarial
+/// nesting cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    KG_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("%s at offset %zu", what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("invalid token");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        KG_RETURN_NOT_OK(Expect("null"));
+        *out = JsonValue::Null();
+        return Status::OK();
+      case 't':
+        KG_RETURN_NOT_OK(Expect("true"));
+        *out = JsonValue::Bool(true);
+        return Status::OK();
+      case 'f':
+        KG_RETURN_NOT_OK(Expect("false"));
+        *out = JsonValue::Bool(false);
+        return Status::OK();
+      case '"':
+        return ParseString(out);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Error("invalid number");
+    if (integral) {
+      int64_t i = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        *out = JsonValue::Int(i);
+        return Status::OK();
+      }
+      if (token[0] != '-') {
+        uint64_t u = 0;
+        auto [uptr, uec] =
+            std::from_chars(token.data(), token.data() + token.size(), u);
+        if (uec == std::errc() && uptr == token.data() + token.size()) {
+          *out = JsonValue::Uint(u);
+          return Status::OK();
+        }
+      }
+      // Integral but out of uint64/int64 range: fall through to double.
+    }
+    double d = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Error("invalid number");
+    }
+    *out = JsonValue::Number(d);
+    return Status::OK();
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    *out = code;
+    return Status::OK();
+  }
+
+  Status ParseString(JsonValue* out) {
+    std::string s;
+    KG_RETURN_NOT_OK(ParseRawString(&s));
+    *out = JsonValue::String(std::move(s));
+    return Status::OK();
+  }
+
+  Status ParseRawString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          KG_RETURN_NOT_OK(ParseHex4(&code));
+          // A high surrogate must pair with a following \uDC00-\uDFFF low
+          // surrogate; the pair decodes to one supplementary code point
+          // (standard clients escape non-BMP characters this way).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (text_.substr(pos_, 2) != "\\u") {
+              return Error("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            KG_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate in \\u escape");
+            }
+            const unsigned point =
+                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            out->push_back(static_cast<char>(0xF0 | (point >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((point >> 12) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | ((point >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (point & 0x3F)));
+            break;
+          }
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate in \\u escape");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    KG_CHECK(Consume('['));
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = std::move(array);
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue element;
+      KG_RETURN_NOT_OK(ParseValue(&element, depth + 1));
+      array.Append(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+    *out = std::move(array);
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    KG_CHECK(Consume('{'));
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = std::move(object);
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      KG_RETURN_NOT_OK(ParseRawString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      KG_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      object.Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+    *out = std::move(object);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status MissingKey(std::string_view key, const char* type) {
+  return Status::InvalidArgument(StrFormat(
+      "missing or non-%s field \"%.*s\"", type,
+      static_cast<int>(key.size()), key.data()));
+}
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Result<std::string> JsonGetString(const JsonValue& object,
+                                  std::string_view key) {
+  if (!object.is_object()) return MissingKey(key, "string");
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || !v->is_string()) return MissingKey(key, "string");
+  return v->string_value();
+}
+
+Result<double> JsonGetNumber(const JsonValue& object, std::string_view key) {
+  if (!object.is_object()) return MissingKey(key, "number");
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || !v->is_number()) return MissingKey(key, "number");
+  return v->number_value();
+}
+
+Result<int64_t> JsonGetInt(const JsonValue& object, std::string_view key) {
+  if (!object.is_object()) return MissingKey(key, "integer");
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || !v->is_int()) return MissingKey(key, "integer");
+  return v->int_value();
+}
+
+Result<uint64_t> JsonGetUint(const JsonValue& object, std::string_view key) {
+  if (!object.is_object()) return MissingKey(key, "unsigned integer");
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || !v->is_uint()) {
+    return MissingKey(key, "unsigned integer");
+  }
+  return v->uint_value();
+}
+
+Result<bool> JsonGetBool(const JsonValue& object, std::string_view key) {
+  if (!object.is_object()) return MissingKey(key, "bool");
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || !v->is_bool()) return MissingKey(key, "bool");
+  return v->bool_value();
+}
+
+Result<std::string> JsonGetStringOr(const JsonValue& object,
+                                    std::string_view key,
+                                    std::string fallback) {
+  if (object.is_object() && object.Find(key) == nullptr) return fallback;
+  return JsonGetString(object, key);
+}
+
+Result<double> JsonGetNumberOr(const JsonValue& object, std::string_view key,
+                               double fallback) {
+  if (object.is_object() && object.Find(key) == nullptr) return fallback;
+  return JsonGetNumber(object, key);
+}
+
+Result<int64_t> JsonGetIntOr(const JsonValue& object, std::string_view key,
+                             int64_t fallback) {
+  if (object.is_object() && object.Find(key) == nullptr) return fallback;
+  return JsonGetInt(object, key);
+}
+
+Result<uint64_t> JsonGetUintOr(const JsonValue& object, std::string_view key,
+                               uint64_t fallback) {
+  if (object.is_object() && object.Find(key) == nullptr) return fallback;
+  return JsonGetUint(object, key);
+}
+
+Result<bool> JsonGetBoolOr(const JsonValue& object, std::string_view key,
+                           bool fallback) {
+  if (object.is_object() && object.Find(key) == nullptr) return fallback;
+  return JsonGetBool(object, key);
+}
+
+}  // namespace kgsearch

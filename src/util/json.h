@@ -1,0 +1,206 @@
+// Minimal JSON document model, writer, and parser for the public API's
+// wire protocol (api/protocol.h).
+//
+// Scope is deliberately small: the subset of RFC 8259 the request/response
+// DTOs need. Objects preserve insertion order (so encode/decode round-trips
+// are byte-stable), integers stay exact across the full int64/uint64 range,
+// and doubles are written with shortest-round-trip precision so
+// Parse(Dump(x)) == x holds exactly — with one carve-out: JSON has no
+// Inf/NaN, so non-finite doubles Dump as null and do not round-trip.
+// Recoverable syntax errors surface as Status::ParseError with the
+// offending byte offset, never as exceptions or aborts.
+#ifndef KGSEARCH_UTIL_JSON_H_
+#define KGSEARCH_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// One JSON value: null, bool, number, string, array, or object.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Defaults to null.
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  /// A non-integral number (written with round-trip precision).
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  /// An integral number (written without a decimal point).
+  static JsonValue Int(int64_t i) {
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = static_cast<double>(i);
+    v.int_ = i;
+    v.is_int_ = true;
+    return v;
+  }
+  /// An unsigned integral number; values above int64 range stay exact on
+  /// the wire (encoded as the plain decimal, reparsed as unsigned).
+  static JsonValue Uint(uint64_t u) {
+    if (u <= static_cast<uint64_t>(INT64_MAX)) {
+      return Int(static_cast<int64_t>(u));
+    }
+    JsonValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = static_cast<double>(u);
+    v.uint_ = u;
+    v.is_uint_ = true;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  /// True for numbers parsed/built without a fractional or exponent part
+  /// that fit int64.
+  bool is_int() const { return kind_ == Kind::kNumber && is_int_; }
+  /// True for integral numbers representable as uint64 (non-negative ints
+  /// plus the above-int64 range).
+  bool is_uint() const {
+    return kind_ == Kind::kNumber && (is_uint_ || (is_int_ && int_ >= 0));
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const {
+    KG_CHECK(is_bool());
+    return bool_;
+  }
+  double number_value() const {
+    KG_CHECK(is_number());
+    return number_;
+  }
+  int64_t int_value() const {
+    KG_CHECK(is_int());
+    return int_;
+  }
+  uint64_t uint_value() const {
+    KG_CHECK(is_uint());
+    return is_uint_ ? uint_ : static_cast<uint64_t>(int_);
+  }
+  const std::string& string_value() const {
+    KG_CHECK(is_string());
+    return string_;
+  }
+
+  // ----- arrays -----
+
+  /// Appends an element (value must be an array).
+  JsonValue& Append(JsonValue element) {
+    KG_CHECK(is_array());
+    items_.push_back(std::move(element));
+    return *this;
+  }
+  size_t size() const {
+    KG_CHECK(is_array() || is_object());
+    return is_array() ? items_.size() : members_.size();
+  }
+  const JsonValue& at(size_t i) const {
+    KG_CHECK(is_array() && i < items_.size());
+    return items_[i];
+  }
+  const std::vector<JsonValue>& items() const {
+    KG_CHECK(is_array());
+    return items_;
+  }
+
+  // ----- objects -----
+
+  /// Sets (or replaces) a member; insertion order is preserved.
+  JsonValue& Set(std::string_view key, JsonValue value);
+  /// The member value, or nullptr when absent (value must be an object).
+  const JsonValue* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    KG_CHECK(is_object());
+    return members_;
+  }
+
+  /// Structural equality (object member order matters; an integral number
+  /// only equals another integral number with the same value).
+  bool operator==(const JsonValue& other) const;
+
+  /// Compact serialization (no whitespace), UTF-8 passthrough with the
+  /// mandatory escapes. Numbers round-trip exactly through Parse.
+  std::string Dump() const;
+
+  /// Parses one JSON document; trailing non-whitespace is a ParseError.
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;     ///< only for integral values above int64 range
+  bool is_int_ = false;
+  bool is_uint_ = false;  ///< mutually exclusive with is_int_
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// ----- typed object-member accessors used by protocol decoders -----
+// Each returns kInvalidArgument naming the key when it is absent or has the
+// wrong type; the *Or variants fall back to a default when absent.
+
+Result<std::string> JsonGetString(const JsonValue& object,
+                                  std::string_view key);
+Result<double> JsonGetNumber(const JsonValue& object, std::string_view key);
+Result<int64_t> JsonGetInt(const JsonValue& object, std::string_view key);
+Result<uint64_t> JsonGetUint(const JsonValue& object, std::string_view key);
+Result<bool> JsonGetBool(const JsonValue& object, std::string_view key);
+
+Result<std::string> JsonGetStringOr(const JsonValue& object,
+                                    std::string_view key,
+                                    std::string fallback);
+Result<double> JsonGetNumberOr(const JsonValue& object, std::string_view key,
+                               double fallback);
+Result<int64_t> JsonGetIntOr(const JsonValue& object, std::string_view key,
+                             int64_t fallback);
+Result<uint64_t> JsonGetUintOr(const JsonValue& object, std::string_view key,
+                               uint64_t fallback);
+Result<bool> JsonGetBoolOr(const JsonValue& object, std::string_view key,
+                           bool fallback);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_UTIL_JSON_H_

@@ -82,6 +82,12 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+size_t DefaultPoolThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const size_t hw = std::thread::hardware_concurrency();
+  return hw < 2 ? 2 : hw;
+}
+
 void RunParallel(std::vector<std::function<void()>> tasks,
                  size_t num_threads) {
   if (tasks.empty()) return;

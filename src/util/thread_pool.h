@@ -15,12 +15,15 @@
 #ifndef KGSEARCH_UTIL_THREAD_POOL_H_
 #define KGSEARCH_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace kgsearch {
@@ -76,6 +79,48 @@ class ThreadPool {
   std::condition_variable cv_;
   bool shutting_down_ = false;
 };
+
+/// Pool-sizing policy shared by every owner of a serving pool: `requested`
+/// when > 0, otherwise std::thread::hardware_concurrency() with a floor of
+/// 2 so async work overlaps even on tiny machines.
+size_t DefaultPoolThreads(size_t requested);
+
+/// Async-submission pattern shared by the serving layers (QueryService,
+/// KgSession): enqueues `run` on `pool` and returns a future of its result.
+/// `queued` counts the task from submission until it starts (a queue-depth
+/// gauge); `outstanding` tracks it until it has fully finished, and Done()
+/// is the task's very last action — so a destructor that Wait()s on
+/// `outstanding` before tearing anything down can never race the task,
+/// even when `pool` outlives the owner. A throwing `run` reaches the
+/// client through the future; when the pool is shutting down the future
+/// resolves to `rejected` instead.
+template <typename ResultT, typename RunFn>
+std::future<ResultT> SubmitTracked(ThreadPool* pool, WaitGroup* outstanding,
+                                   std::atomic<size_t>* queued, RunFn run,
+                                   ResultT rejected) {
+  auto promise = std::make_shared<std::promise<ResultT>>();
+  std::future<ResultT> fut = promise->get_future();
+  queued->fetch_add(1, std::memory_order_relaxed);
+  outstanding->Add(1);
+  const bool accepted = pool->TrySubmit(
+      [promise, queued, outstanding, run = std::move(run)]() mutable {
+        queued->fetch_sub(1, std::memory_order_relaxed);
+        try {
+          promise->set_value(run());
+        } catch (...) {
+          promise->set_exception(std::current_exception());
+        }
+        // Last touch of the owner's state: after Done() its destructor may
+        // proceed.
+        outstanding->Done();
+      });
+  if (!accepted) {
+    queued->fetch_sub(1, std::memory_order_relaxed);
+    outstanding->Done();
+    promise->set_value(std::move(rejected));
+  }
+  return fut;
+}
 
 /// Runs `tasks` to completion, using `num_threads` workers (or inline when
 /// num_threads <= 1). Convenience for fork-join parallelism with a private

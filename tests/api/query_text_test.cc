@@ -1,0 +1,143 @@
+#include "api/query_text.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace kgsearch {
+namespace {
+
+std::unique_ptr<KnowledgeGraph> MakeGraph() {
+  auto graph = std::make_unique<KnowledgeGraph>();
+  graph->AddNode("Germany", "Country");
+  graph->AddNode("Audi_TT", "Automobile");
+  graph->AddTriple("Audi_TT", "assembly", "Germany");
+  graph->Finalize();
+  return graph;
+}
+
+TEST(ParseQueryTextTest, SingleEdge) {
+  auto parsed = ParseQueryText("?Automobile assembly Germany");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const QueryGraph& q = parsed.ValueOrDie();
+  ASSERT_EQ(q.NumNodes(), 2u);
+  ASSERT_EQ(q.NumEdges(), 1u);
+  EXPECT_FALSE(q.node(0).is_specific());
+  EXPECT_EQ(q.node(0).type, "Automobile");
+  EXPECT_TRUE(q.node(1).is_specific());
+  EXPECT_EQ(q.node(1).name, "Germany");
+  EXPECT_EQ(q.edge(0).predicate, "assembly");
+  EXPECT_EQ(q.edge(0).from, 0);
+  EXPECT_EQ(q.edge(0).to, 1);
+}
+
+TEST(ParseQueryTextTest, SpecificTypeInferredFromGraph) {
+  auto graph = MakeGraph();
+  auto with_graph =
+      ParseQueryText("?Automobile assembly Germany", graph.get());
+  ASSERT_TRUE(with_graph.ok());
+  EXPECT_EQ(with_graph.ValueOrDie().node(1).type, "Country");
+
+  auto without_graph = ParseQueryText("?Automobile assembly Germany");
+  ASSERT_TRUE(without_graph.ok());
+  EXPECT_EQ(without_graph.ValueOrDie().node(1).type, "Thing");
+
+  // Unknown entities fall back to Thing even with a graph.
+  auto unknown = ParseQueryText("?Automobile assembly Atlantis", graph.get());
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown.ValueOrDie().node(1).type, "Thing");
+}
+
+TEST(ParseQueryTextTest, ChainSharesNodesByToken) {
+  auto parsed = ParseQueryText(
+      "?Automobile engine ?Device; ?Device made_in Germany");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const QueryGraph& q = parsed.ValueOrDie();
+  EXPECT_EQ(q.NumNodes(), 3u);  // ?Device appears once
+  EXPECT_EQ(q.NumEdges(), 2u);
+  EXPECT_EQ(q.edge(0).to, q.edge(1).from);  // the shared ?Device node
+}
+
+TEST(ParseQueryTextTest, ExtraWhitespaceTolerated) {
+  auto parsed =
+      ParseQueryText("  ?Car   product   GER  ;  ?Car made_by  VW ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().NumEdges(), 2u);
+}
+
+TEST(ParseQueryTextErrorTest, EmptyQuery) {
+  for (const char* text : {"", "   ", "\t \n"}) {
+    auto parsed = ParseQueryText(text);
+    ASSERT_FALSE(parsed.ok()) << "accepted: '" << text << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ParseQueryTextErrorTest, DanglingSemicolon) {
+  auto trailing = ParseQueryText("?Car product GER;");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_EQ(trailing.status().code(), StatusCode::kParseError);
+  EXPECT_NE(trailing.status().message().find("dangling"), std::string::npos);
+
+  auto doubled = ParseQueryText("?Car product GER;; ?Car made_by VW");
+  ASSERT_FALSE(doubled.ok());
+  EXPECT_EQ(doubled.status().code(), StatusCode::kParseError);
+
+  auto leading = ParseQueryText("; ?Car product GER");
+  ASSERT_FALSE(leading.ok());
+  EXPECT_EQ(leading.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParseQueryTextErrorTest, MalformedEdgeShape) {
+  for (const char* text :
+       {"?Car product", "?Car", "?Car product GER extra"}) {
+    auto parsed = ParseQueryText(text);
+    ASSERT_FALSE(parsed.ok()) << "accepted: '" << text << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kParseError) << text;
+  }
+}
+
+TEST(ParseQueryTextErrorTest, UnknownNodeTokenShape) {
+  // A bare '?' is a target node without a type.
+  auto bare = ParseQueryText("? product GER");
+  ASSERT_FALSE(bare.ok());
+  EXPECT_EQ(bare.status().code(), StatusCode::kParseError);
+
+  // A predicate token must not look like a target node.
+  auto predicate = ParseQueryText("?Car ?product GER");
+  ASSERT_FALSE(predicate.ok());
+  EXPECT_EQ(predicate.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParseQueryTextErrorTest, SelfLoopEdge) {
+  // Same token on both sides — target and specific flavors. Must be a
+  // Status, not the KG_CHECK abort inside QueryGraph::AddEdge.
+  auto target_loop = ParseQueryText("?Car similar_to ?Car");
+  ASSERT_FALSE(target_loop.ok());
+  EXPECT_EQ(target_loop.status().code(), StatusCode::kInvalidArgument);
+
+  auto specific_loop = ParseQueryText("GER borders GER");
+  ASSERT_FALSE(specific_loop.ok());
+  EXPECT_EQ(specific_loop.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseQueryTextErrorTest, StructurallyInvalidQueriesFailValidate) {
+  // All-target query: no specific node to anchor the search.
+  auto no_specific = ParseQueryText("?Car product ?Country");
+  ASSERT_FALSE(no_specific.ok());
+  EXPECT_EQ(no_specific.status().code(), StatusCode::kInvalidArgument);
+
+  // All-specific query: nothing to answer.
+  auto no_target = ParseQueryText("Audi_TT assembly Germany");
+  ASSERT_FALSE(no_target.ok());
+  EXPECT_EQ(no_target.status().code(), StatusCode::kInvalidArgument);
+
+  // Two connected components.
+  auto disconnected =
+      ParseQueryText("?Car product GER; ?Phone made_by Samsung");
+  ASSERT_FALSE(disconnected.ok());
+  EXPECT_EQ(disconnected.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -180,6 +180,58 @@ TEST_F(QueryServiceTest, DestructionDrainsOutstandingSubmissions) {
   }
 }
 
+TEST_F(QueryServiceTest, ExternalExecutorSharedByTwoServices) {
+  // One process-wide pool, two services (the KgSession deployment shape):
+  // results must be bit-identical to an owned-pool service.
+  ThreadPool pool(3);
+  QueryServiceOptions options;
+  options.executor = &pool;
+  QueryService a(dataset_->graph.get(), dataset_->space.get(),
+                 &dataset_->library, options);
+  QueryService b(dataset_->graph.get(), dataset_->space.get(),
+                 &dataset_->library, options);
+  EXPECT_EQ(a.num_threads(), 3u);
+  EXPECT_EQ(b.num_threads(), 3u);
+
+  QueryService owned = MakeService();
+  EngineOptions eoptions;
+  eoptions.k = 10;
+  for (int variant = 1; variant <= 4; ++variant) {
+    auto ra = a.Query(MakeQ117Variant(variant), eoptions);
+    auto rb = b.Query(MakeQ117Variant(variant), eoptions);
+    auto ro = owned.Query(MakeQ117Variant(variant), eoptions);
+    ASSERT_TRUE(ra.ok() && rb.ok() && ro.ok()) << "variant " << variant;
+    ExpectIdenticalResults(ra.ValueOrDie(), ro.ValueOrDie());
+    ExpectIdenticalResults(rb.ValueOrDie(), ro.ValueOrDie());
+  }
+}
+
+TEST_F(QueryServiceTest, DestructionOnExternalExecutorDrainsInFlightWork) {
+  // The service dies before the pool: its destructor must wait for every
+  // async submission (which references service members) to finish, and
+  // every future must still resolve.
+  ThreadPool pool(2);
+  std::vector<std::future<Result<QueryResult>>> futures;
+  {
+    QueryServiceOptions options;
+    options.executor = &pool;
+    QueryService service(dataset_->graph.get(), dataset_->space.get(),
+                         &dataset_->library, options);
+    EngineOptions eoptions;
+    eoptions.k = 10;
+    for (int i = 0; i < 12; ++i) {
+      futures.push_back(
+          service.Submit(MakeQ117Variant(1 + i % 4), eoptions));
+    }
+    // Service destroyed here with submissions still queued on the pool.
+  }
+  for (auto& fut : futures) {
+    auto r = fut.get();  // must not throw broken_promise
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.ValueOrDie().matches.empty());
+  }
+}
+
 TEST(QuerySignatureTest, DistinguishesStructureAndOptions) {
   QueryGraph a;
   int t = a.AddTargetNode("Automobile");

@@ -1,0 +1,199 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace kgsearch {
+namespace {
+
+TEST(JsonValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue::Bool(true).bool_value());
+  EXPECT_DOUBLE_EQ(JsonValue::Number(1.5).number_value(), 1.5);
+  EXPECT_EQ(JsonValue::Int(-7).int_value(), -7);
+  EXPECT_TRUE(JsonValue::Int(3).is_number());
+  EXPECT_FALSE(JsonValue::Number(3.5).is_int());
+  EXPECT_EQ(JsonValue::String("hi").string_value(), "hi");
+}
+
+TEST(JsonValueTest, ObjectSetReplacesAndPreservesOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", JsonValue::Int(1));
+  obj.Set("a", JsonValue::Int(2));
+  obj.Set("b", JsonValue::Int(3));  // replace, not append
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "b");
+  EXPECT_EQ(obj.members()[0].second.int_value(), 3);
+  EXPECT_EQ(obj.members()[1].first, "a");
+  EXPECT_EQ(obj.Find("a")->int_value(), 2);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonDumpTest, CompactOutput) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("s", JsonValue::String("a\"b\\c\n\t\x01"));
+  obj.Set("i", JsonValue::Int(42));
+  obj.Set("d", JsonValue::Number(0.5));
+  obj.Set("b", JsonValue::Bool(false));
+  obj.Set("n", JsonValue::Null());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1)).Append(JsonValue::String("x"));
+  obj.Set("a", std::move(arr));
+  EXPECT_EQ(obj.Dump(),
+            "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\",\"i\":42,\"d\":0.5,"
+            "\"b\":false,\"n\":null,\"a\":[1,\"x\"]}");
+}
+
+TEST(JsonParseTest, Literals) {
+  EXPECT_TRUE(JsonValue::Parse("null").ValueOrDie().is_null());
+  EXPECT_TRUE(JsonValue::Parse("true").ValueOrDie().bool_value());
+  EXPECT_FALSE(JsonValue::Parse(" false ").ValueOrDie().bool_value());
+}
+
+TEST(JsonParseTest, Numbers) {
+  EXPECT_EQ(JsonValue::Parse("42").ValueOrDie().int_value(), 42);
+  EXPECT_EQ(JsonValue::Parse("-42").ValueOrDie().int_value(), -42);
+  EXPECT_TRUE(JsonValue::Parse("42").ValueOrDie().is_int());
+  EXPECT_FALSE(JsonValue::Parse("42.0").ValueOrDie().is_int());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("0.125").ValueOrDie().number_value(),
+                   0.125);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-1e3").ValueOrDie().number_value(),
+                   -1000.0);
+  // Integral but beyond int64: exact as unsigned up to uint64 max.
+  auto big = JsonValue::Parse("9223372036854775808");  // 2^63
+  ASSERT_TRUE(big.ok());
+  EXPECT_FALSE(big.ValueOrDie().is_int());
+  ASSERT_TRUE(big.ValueOrDie().is_uint());
+  EXPECT_EQ(big.ValueOrDie().uint_value(), 1ull << 63);
+  // Beyond uint64 too: parsed as a double rather than rejected.
+  auto huge = JsonValue::Parse("123456789012345678901234567890");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_FALSE(huge.ValueOrDie().is_int());
+  EXPECT_FALSE(huge.ValueOrDie().is_uint());
+}
+
+TEST(JsonParseTest, UnsignedFlavors) {
+  // Non-negative int64-range integers answer both views.
+  const JsonValue small = JsonValue::Parse("42").ValueOrDie();
+  EXPECT_TRUE(small.is_int());
+  EXPECT_TRUE(small.is_uint());
+  EXPECT_EQ(small.uint_value(), 42u);
+  EXPECT_FALSE(JsonValue::Parse("-1").ValueOrDie().is_uint());
+
+  // Uint() collapses small values to the int flavor; big stays exact.
+  EXPECT_TRUE(JsonValue::Uint(7) == JsonValue::Int(7));
+  const JsonValue max = JsonValue::Uint(UINT64_MAX);
+  EXPECT_EQ(max.Dump(), "18446744073709551615");
+  EXPECT_TRUE(JsonValue::Parse(max.Dump()).ValueOrDie() == max);
+}
+
+TEST(JsonParseTest, StringsAndEscapes) {
+  EXPECT_EQ(JsonValue::Parse("\"a\\\"b\\\\c\\n\\t\\/\"")
+                .ValueOrDie()
+                .string_value(),
+            "a\"b\\c\n\t/");
+  EXPECT_EQ(JsonValue::Parse("\"\\u0041\\u00e9\\u20ac\"")
+                .ValueOrDie()
+                .string_value(),
+            "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParseTest, SurrogatePairsDecodeToUtf8) {
+  // U+1F697 AUTOMOBILE as the \uD83D\uDE97 pair → one 4-byte UTF-8
+  // sequence (what python json.dumps and friends put on the wire).
+  EXPECT_EQ(JsonValue::Parse("\"\\ud83d\\ude97car\"")
+                .ValueOrDie()
+                .string_value(),
+            "\xF0\x9F\x9A\x97"
+            "car");
+  // Unpaired or malformed surrogates are errors, not mojibake.
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83dx\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud83d\\u0041\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\ude97\"").ok());
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  auto parsed = JsonValue::Parse(
+      " { \"a\" : [ 1 , { \"b\" : [ ] } ] , \"c\" : { } } ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = parsed.ValueOrDie();
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_EQ(a->at(0).int_value(), 1);
+  EXPECT_TRUE(a->at(1).Find("b")->is_array());
+  EXPECT_TRUE(v.Find("c")->is_object());
+}
+
+TEST(JsonParseTest, Errors) {
+  const char* bad[] = {
+      "",           "{",         "[1,",       "\"unterminated",
+      "tru",        "{\"a\" 1}", "{\"a\":1,}", "[1 2]",
+      "1 trailing", "nul",       "\"\\x\"",   "\"\\u12g4\"",
+      "-",          "\"\x01\"",
+  };
+  for (const char* text : bad) {
+    auto r = JsonValue::Parse(text);
+    EXPECT_FALSE(r.ok()) << "accepted: " << text;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << text;
+  }
+}
+
+TEST(JsonParseTest, DeepNestingRejectedNotCrashed) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonRoundTripTest, ParseDumpParseIsIdentity) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("name", JsonValue::String("Audi TT \u00e9"));
+  obj.Set("k", JsonValue::Int(10));
+  obj.Set("tau", JsonValue::Number(0.8));
+  obj.Set("big", JsonValue::Int(4'000'000));
+  obj.Set("neg", JsonValue::Number(-1.0));
+  obj.Set("flag", JsonValue::Bool(true));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Number(0.1)).Append(JsonValue::Null());
+  obj.Set("scores", std::move(arr));
+
+  auto reparsed = JsonValue::Parse(obj.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(reparsed.ValueOrDie() == obj);
+  EXPECT_EQ(reparsed.ValueOrDie().Dump(), obj.Dump());
+}
+
+TEST(JsonAccessorTest, TypedGetters) {
+  JsonValue obj =
+      JsonValue::Parse("{\"s\":\"x\",\"i\":3,\"d\":1.5,\"b\":true}")
+          .ValueOrDie();
+  EXPECT_EQ(JsonGetString(obj, "s").ValueOrDie(), "x");
+  EXPECT_EQ(JsonGetInt(obj, "i").ValueOrDie(), 3);
+  EXPECT_EQ(JsonGetUint(obj, "i").ValueOrDie(), 3u);
+  EXPECT_FALSE(JsonGetUint(obj, "d").ok());
+  EXPECT_EQ(JsonGetUintOr(obj, "missing", 8).ValueOrDie(), 8u);
+  EXPECT_DOUBLE_EQ(JsonGetNumber(obj, "d").ValueOrDie(), 1.5);
+  EXPECT_DOUBLE_EQ(JsonGetNumber(obj, "i").ValueOrDie(), 3.0);
+  EXPECT_TRUE(JsonGetBool(obj, "b").ValueOrDie());
+
+  EXPECT_FALSE(JsonGetString(obj, "missing").ok());
+  EXPECT_FALSE(JsonGetInt(obj, "d").ok());  // 1.5 is not integral
+  EXPECT_FALSE(JsonGetBool(obj, "s").ok());
+  EXPECT_EQ(JsonGetString(obj, "missing").status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(JsonGetStringOr(obj, "missing", "dflt").ValueOrDie(), "dflt");
+  EXPECT_EQ(JsonGetIntOr(obj, "missing", 9).ValueOrDie(), 9);
+  EXPECT_DOUBLE_EQ(JsonGetNumberOr(obj, "missing", 2.5).ValueOrDie(), 2.5);
+  EXPECT_TRUE(JsonGetBoolOr(obj, "missing", true).ValueOrDie());
+  // Present but mistyped still errors through the *Or variants.
+  EXPECT_FALSE(JsonGetIntOr(obj, "s", 9).ok());
+}
+
+}  // namespace
+}  // namespace kgsearch
