@@ -7,6 +7,14 @@
 //   kgsearch_cli --graph kg.nt|kg.tsv [--space space.txt] [--library lib.tsv]
 //                [--train-transe] [--k 10] [--tau 0.8] [--nhat 4]
 //                [--time-bound-ms T] [--json] --query "?Automobile product Germany"
+//   kgsearch_cli save --graph kg.nt [--space f] [--library f] [--train-transe]
+//                     --snapshot kg.kgpack
+//   kgsearch_cli load --snapshot kg.kgpack [query flags] --query "..."
+//
+// `save` parses (and, without --space, TransE-trains) a dataset once and
+// writes a kgpack snapshot; `load` serves queries from such a snapshot with
+// a millisecond cold start — no parsing, no retraining. Passing a .kgpack
+// file directly to --graph takes the same fast path.
 //
 // The query syntax is the api/query_text grammar: edges separated by ';',
 // each edge "node predicate node", '?'-prefixed tokens are target nodes
@@ -27,8 +35,16 @@ using namespace kgsearch;
 
 namespace {
 
+enum class CliCommand {
+  kQuery,  ///< the default: load flags + --query
+  kSave,   ///< build a dataset, write a kgpack snapshot, exit
+  kLoad,   ///< query a kgpack snapshot (alias for --graph FILE.kgpack)
+};
+
 struct CliOptions {
+  CliCommand command = CliCommand::kQuery;
   DatasetLoadOptions load;
+  std::string snapshot_path;
   std::string query_text;
   bool json = false;
   size_t k = 10;
@@ -42,8 +58,12 @@ int Usage(const char* argv0) {
                "usage: %s --graph FILE [--space FILE] [--library FILE]\n"
                "          [--train-transe] [--k N] [--tau X] [--nhat N]\n"
                "          [--time-bound-ms T] [--json]\n"
+               "          --query \"?Type pred Name\"\n"
+               "   or: %s save --graph FILE [--space FILE] [--library FILE]\n"
+               "          [--train-transe] --snapshot OUT.kgpack\n"
+               "   or: %s load --snapshot FILE.kgpack [query flags]\n"
                "          --query \"?Type pred Name\"\n",
-               argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -63,7 +83,20 @@ Result<T> ParseNumber(std::string_view flag, const std::string& value) {
 
 Result<CliOptions> ParseArgs(int argc, char** argv) {
   CliOptions opts;
-  for (int i = 1; i < argc; ++i) {
+  int first_flag = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    std::string_view command = argv[1];
+    if (command == "save") {
+      opts.command = CliCommand::kSave;
+    } else if (command == "load") {
+      opts.command = CliCommand::kLoad;
+    } else {
+      return Status::InvalidArgument("unknown command: " +
+                                     std::string(command));
+    }
+    first_flag = 2;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     std::string_view arg = argv[i];
     auto next = [&]() -> Result<std::string> {
       if (i + 1 >= argc) {
@@ -87,6 +120,10 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       auto v = next();
       KG_RETURN_NOT_OK(v.status());
       opts.query_text = v.ValueOrDie();
+    } else if (arg == "--snapshot") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.snapshot_path = v.ValueOrDie();
     } else if (arg == "--train-transe") {
       opts.load.train_transe = true;
     } else if (arg == "--json") {
@@ -119,17 +156,82 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag: " + std::string(arg));
     }
   }
-  if (opts.load.graph_path.empty() || opts.query_text.empty()) {
-    return Status::InvalidArgument("--graph and --query are required");
+  switch (opts.command) {
+    case CliCommand::kSave:
+      if (opts.load.graph_path.empty() || opts.snapshot_path.empty()) {
+        return Status::InvalidArgument(
+            "save needs --graph and --snapshot");
+      }
+      break;
+    case CliCommand::kLoad:
+      if (opts.snapshot_path.empty() || opts.query_text.empty()) {
+        return Status::InvalidArgument(
+            "load needs --snapshot and --query");
+      }
+      if (!opts.load.graph_path.empty()) {
+        return Status::InvalidArgument(
+            "load reads the graph from --snapshot; drop --graph");
+      }
+      // Route the snapshot through the kgpack fast path. Leftover
+      // --space/--library/--train-transe flags are NOT silently dropped:
+      // KgSession::LoadDataset rejects them with a precise error, since a
+      // snapshot bundles its own space and library.
+      opts.load.graph_path = opts.snapshot_path;
+      break;
+    case CliCommand::kQuery:
+      if (opts.load.graph_path.empty() || opts.query_text.empty()) {
+        return Status::InvalidArgument("--graph and --query are required");
+      }
+      if (!opts.snapshot_path.empty()) {
+        return Status::InvalidArgument(
+            "--snapshot is only for the save/load commands");
+      }
+      break;
   }
   return opts;
 }
 
-int RunCli(const CliOptions& opts) {
+int RunSave(const CliOptions& opts) {
   KgSession session;
   if (opts.load.space_path.empty() || opts.load.train_transe) {
     std::fprintf(stderr, "training TransE on the loaded graph...\n");
   }
+  StopWatch build_watch;
+  Status loaded = session.LoadDataset("default", opts.load);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+  const double build_ms = build_watch.ElapsedMillis();
+  StopWatch save_watch;
+  Status saved = session.SaveDataset("default", opts.snapshot_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "cannot save snapshot: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  for (const DatasetInfo& info : session.ListDatasets()) {
+    std::fprintf(stderr,
+                 "saved %zu nodes, %zu edges, %zu predicates to %s "
+                 "(build %.1f ms, save %.1f ms)\n",
+                 info.nodes, info.edges, info.predicates,
+                 opts.snapshot_path.c_str(), build_ms,
+                 save_watch.ElapsedMillis());
+  }
+  return 0;
+}
+
+int RunCli(const CliOptions& opts) {
+  KgSession session;
+  const bool from_snapshot =
+      opts.command == CliCommand::kLoad ||
+      opts.load.graph_path.ends_with(".kgpack");
+  if (!from_snapshot &&
+      (opts.load.space_path.empty() || opts.load.train_transe)) {
+    std::fprintf(stderr, "training TransE on the loaded graph...\n");
+  }
+  StopWatch load_watch;
   Status loaded = session.LoadDataset("default", opts.load);
   if (!loaded.ok()) {
     std::fprintf(stderr, "cannot load dataset: %s\n",
@@ -137,8 +239,10 @@ int RunCli(const CliOptions& opts) {
     return 1;
   }
   for (const DatasetInfo& info : session.ListDatasets()) {
-    std::fprintf(stderr, "loaded %zu nodes, %zu edges, %zu predicates\n",
-                 info.nodes, info.edges, info.predicates);
+    std::fprintf(stderr,
+                 "loaded %zu nodes, %zu edges, %zu predicates in %.1f ms\n",
+                 info.nodes, info.edges, info.predicates,
+                 load_watch.ElapsedMillis());
   }
 
   QueryRequest request;
@@ -192,6 +296,9 @@ int main(int argc, char** argv) {
   if (!opts.ok()) {
     std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
     return Usage(argv[0]);
+  }
+  if (opts.ValueOrDie().command == CliCommand::kSave) {
+    return RunSave(opts.ValueOrDie());
   }
   return RunCli(opts.ValueOrDie());
 }

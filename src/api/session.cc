@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "api/query_text.h"
+#include "kg/snapshot.h"
 #include "kg/triple_io.h"
 #include "util/string_util.h"
 
@@ -103,6 +104,24 @@ Status KgSession::LoadDataset(const std::string& name,
 
   Result<std::string> text = ReadFileToString(options.graph_path);
   KG_RETURN_NOT_OK(text.status());
+
+  // kgpack fast path: the file bundles graph + space + library already in
+  // flat form, so the remaining load options have nothing to apply to.
+  if (LooksLikeKgPack(text.ValueOrDie())) {
+    if (!options.space_path.empty() || !options.library_path.empty() ||
+        options.train_transe) {
+      return Status::InvalidArgument(
+          "kgpack snapshots bundle their own space and library; clear "
+          "space_path/library_path/train_transe when loading " +
+          options.graph_path);
+    }
+    Result<DatasetSnapshot> snapshot = DecodeSnapshot(text.ValueOrDie());
+    KG_RETURN_NOT_OK(snapshot.status());
+    DatasetSnapshot& parts = snapshot.ValueOrDie();
+    return RegisterDataset(name, std::move(parts.graph),
+                           std::move(parts.space), std::move(parts.library));
+  }
+
   Result<std::unique_ptr<KnowledgeGraph>> graph =
       EndsWith(options.graph_path, ".tsv")
           ? ParseTsvTriples(text.ValueOrDie())
@@ -137,6 +156,18 @@ Status KgSession::LoadDataset(const std::string& name,
 
   return RegisterDataset(name, std::move(graph).ValueOrDie(),
                          std::move(space), std::move(library));
+}
+
+Status KgSession::SaveDataset(const std::string& name,
+                              const std::string& path) const {
+  Dataset* dataset = FindDataset(name);
+  if (dataset == nullptr) {
+    return Status::NotFound("unknown dataset: \"" + name + "\"");
+  }
+  // Graph, space, and library are immutable after registration, so reading
+  // them without the registry lock is safe.
+  return SaveSnapshot(path, *dataset->graph, *dataset->space,
+                      dataset->library);
 }
 
 KgSession::Dataset* KgSession::FindDataset(const std::string& name) const {

@@ -52,7 +52,11 @@ struct KgSessionOptions {
 
 /// How to load one dataset from disk.
 struct DatasetLoadOptions {
-  /// Graph file: ".tsv" parses as TSV triples, anything else as N-Triples.
+  /// Graph file. A kgpack snapshot (detected by its magic bytes, see
+  /// kg/snapshot.h) restores the whole dataset — graph, predicate space,
+  /// and transformation library — directly from flat buffers, in which case
+  /// the other fields must be left empty/false. Otherwise ".tsv" parses as
+  /// TSV triples and anything else as N-Triples.
   std::string graph_path;
   /// Serialized PredicateSpace (optional; empty = train TransE).
   std::string space_path;
@@ -92,9 +96,15 @@ class KgSession {
                          std::unique_ptr<PredicateSpace> space,
                          TransformationLibrary library);
 
-  /// Loads a dataset from disk per `options` and registers it.
+  /// Loads a dataset from disk per `options` and registers it. Snapshot
+  /// files take the kgpack fast path: no parsing, no training.
   Status LoadDataset(const std::string& name,
                      const DatasetLoadOptions& options);
+
+  /// Serializes a registered dataset to a kgpack snapshot file that a later
+  /// LoadDataset (or another process) restores bit-identically —
+  /// snapshot-served answers match freshly-trained ones exactly.
+  Status SaveDataset(const std::string& name, const std::string& path) const;
 
   bool HasDataset(const std::string& name) const;
   std::vector<DatasetInfo> ListDatasets() const;

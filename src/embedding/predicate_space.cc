@@ -26,6 +26,15 @@ PredicateSpace PredicateSpace::FromTransE(const KnowledgeGraph& graph,
   return PredicateSpace(embedding.predicate, std::move(names));
 }
 
+PredicateSpace PredicateSpace::FromNormalized(std::vector<FloatVec> vectors,
+                                              std::vector<std::string> names) {
+  KG_CHECK(vectors.size() == names.size());
+  PredicateSpace space;
+  space.vectors_ = std::move(vectors);
+  space.names_ = std::move(names);
+  return space;
+}
+
 double PredicateSpace::Cosine(PredicateId a, PredicateId b) const {
   KG_CHECK(a < vectors_.size() && b < vectors_.size());
   if (a == b) return 1.0;

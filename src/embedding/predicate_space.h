@@ -38,6 +38,12 @@ class PredicateSpace {
   static PredicateSpace FromTransE(const KnowledgeGraph& graph,
                                    const TransEEmbedding& embedding);
 
+  /// Trusted restore path for snapshots: installs `vectors` verbatim (no
+  /// re-normalization), so vectors captured from a live PredicateSpace —
+  /// which are already unit-normalized — round-trip bit-exactly.
+  static PredicateSpace FromNormalized(std::vector<FloatVec> vectors,
+                                       std::vector<std::string> names);
+
   size_t NumPredicates() const { return vectors_.size(); }
   const std::string& PredicateName(PredicateId p) const {
     KG_CHECK(p < names_.size());
@@ -71,7 +77,13 @@ class PredicateSpace {
   static Result<PredicateSpace> Deserialize(std::string_view text,
                                             const KnowledgeGraph* graph);
 
+  /// Stored (unit-normalized) vectors and names, for snapshot encoding.
+  const std::vector<FloatVec>& vectors() const { return vectors_; }
+  const std::vector<std::string>& names() const { return names_; }
+
  private:
+  PredicateSpace() = default;
+
   std::vector<FloatVec> vectors_;  // unit-normalized
   std::vector<std::string> names_;
 };

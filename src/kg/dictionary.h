@@ -3,13 +3,14 @@
 #define KGSEARCH_KG_DICTIONARY_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
-#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
+#include "util/string_util.h"
 
 namespace kgsearch {
 
@@ -23,13 +24,19 @@ inline constexpr SymbolId kInvalidSymbol = UINT32_MAX;
 ///
 /// Ids are assigned densely in insertion order, so they double as indexes
 /// into side arrays (e.g. predicate embedding vectors).
+///
+/// Storage is a chunked character arena: each interned string is copied once
+/// into a large heap chunk and addressed by a string_view, instead of one
+/// heap allocation per symbol. Chunks are never reallocated or freed before
+/// the dictionary, so views returned by Get() stay valid for the
+/// dictionary's lifetime (and across moves). The arena layout also makes
+/// bulk (de)serialization a flat copy: see FromFlat and kg/snapshot.h.
 class Dictionary {
  public:
   Dictionary() = default;
 
-  // The lookup map stores views into heap-allocated strings owned via
-  // unique_ptr, so moving is safe (views stay valid); copying is not
-  // implemented.
+  // Views point into heap chunks owned via unique_ptr, so moving is safe
+  // (views stay valid); copying is not implemented.
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
   Dictionary(Dictionary&&) = default;
@@ -39,9 +46,10 @@ class Dictionary {
   SymbolId Intern(std::string_view s) {
     auto it = index_.find(s);
     if (it != index_.end()) return it->second;
-    SymbolId id = static_cast<SymbolId>(strings_.size());
-    strings_.push_back(std::make_unique<std::string>(s));
-    index_.emplace(std::string_view(*strings_.back()), id);
+    std::string_view stored = Append(s);
+    SymbolId id = static_cast<SymbolId>(views_.size());
+    views_.push_back(stored);
+    index_.emplace(stored, id);
     return id;
   }
 
@@ -58,29 +66,94 @@ class Dictionary {
 
   /// Returns the string for a valid id.
   std::string_view Get(SymbolId id) const {
-    KG_CHECK(id < strings_.size());
-    return *strings_[id];
+    KG_CHECK(id < views_.size());
+    return views_[id];
   }
 
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return views_.size(); }
+
+  /// Total interned bytes (the arena payload; offsets/index excluded).
+  size_t payload_bytes() const { return payload_bytes_; }
+
+  /// Restores a dictionary from its flat serialized form: `offsets` holds
+  /// size()+1 cumulative byte offsets into `blob` (offsets[0] == 0,
+  /// offsets.back() == blob.size()), symbol i being
+  /// blob[offsets[i]..offsets[i+1]). One arena allocation, one bulk copy,
+  /// and a pre-sized index; malformed offsets or duplicate symbols are
+  /// ParseErrors, so a restored dictionary is always identical to one built
+  /// by interning the same strings in order.
+  static Result<Dictionary> FromFlat(std::string_view blob,
+                                     const std::vector<uint64_t>& offsets) {
+    if (offsets.empty() || offsets.front() != 0 ||
+        offsets.back() != blob.size()) {
+      return Status::ParseError("dictionary offsets do not span the blob");
+    }
+    const size_t count = offsets.size() - 1;
+    if (count > kInvalidSymbol) {
+      return Status::ParseError("dictionary symbol count overflows SymbolId");
+    }
+    Dictionary d;
+    d.views_.reserve(count);
+    d.index_.reserve(count);
+    const char* base = nullptr;
+    if (!blob.empty()) {
+      auto& chunk = d.chunks_.emplace_back();
+      chunk.data = std::make_unique<char[]>(blob.size());
+      chunk.used = chunk.capacity = blob.size();
+      std::memcpy(chunk.data.get(), blob.data(), blob.size());
+      base = chunk.data.get();
+    }
+    d.payload_bytes_ = blob.size();
+    for (size_t i = 0; i < count; ++i) {
+      if (offsets[i] > offsets[i + 1]) {
+        return Status::ParseError("dictionary offsets are not monotonic");
+      }
+      const size_t len = offsets[i + 1] - offsets[i];
+      std::string_view view =
+          len == 0 ? std::string_view()
+                   : std::string_view(base + offsets[i], len);
+      auto [it, inserted] = d.index_.emplace(view, static_cast<SymbolId>(i));
+      (void)it;
+      if (!inserted) {
+        return Status::ParseError("duplicate dictionary symbol");
+      }
+      d.views_.push_back(view);
+    }
+    return d;
+  }
 
  private:
-  struct Hash {
-    using is_transparent = void;
-    size_t operator()(std::string_view s) const {
-      return std::hash<std::string_view>()(s);
-    }
-  };
-  struct Eq {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const {
-      return a == b;
-    }
+  /// Arena chunks start at 64 KiB; oversized strings get a dedicated chunk.
+  static constexpr size_t kMinChunkBytes = size_t{1} << 16;
+
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t used = 0;
+    size_t capacity = 0;
   };
 
-  // unique_ptr keeps string storage stable so index_ keys stay valid.
-  std::vector<std::unique_ptr<std::string>> strings_;
-  std::unordered_map<std::string_view, SymbolId, Hash, Eq> index_;
+  /// Copies `s` into the arena and returns the stable stored view.
+  std::string_view Append(std::string_view s) {
+    payload_bytes_ += s.size();
+    if (s.empty()) return {};
+    if (chunks_.empty() ||
+        chunks_.back().capacity - chunks_.back().used < s.size()) {
+      auto& chunk = chunks_.emplace_back();
+      chunk.capacity = s.size() > kMinChunkBytes ? s.size() : kMinChunkBytes;
+      chunk.data = std::make_unique<char[]>(chunk.capacity);
+    }
+    Chunk& chunk = chunks_.back();
+    char* dst = chunk.data.get() + chunk.used;
+    std::memcpy(dst, s.data(), s.size());
+    chunk.used += s.size();
+    return std::string_view(dst, s.size());
+  }
+
+  std::vector<Chunk> chunks_;
+  std::vector<std::string_view> views_;  // per id, pointing into chunks_
+  size_t payload_bytes_ = 0;
+  std::unordered_map<std::string_view, SymbolId, StringViewHash, StringViewEq>
+      index_;
 };
 
 }  // namespace kgsearch

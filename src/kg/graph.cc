@@ -1,6 +1,8 @@
 #include "kg/graph.h"
 
 #include <algorithm>
+#include <memory>
+#include <tuple>
 
 namespace kgsearch {
 
@@ -85,6 +87,122 @@ void KnowledgeGraph::Finalize() {
   }
 
   finalized_ = true;
+}
+
+Result<std::unique_ptr<KnowledgeGraph>> KnowledgeGraph::FromFlatParts(
+    FlatParts parts) {
+  const size_t n = parts.names.size();
+  const size_t num_types = parts.types.size();
+  const size_t num_preds = parts.predicates.size();
+  const size_t num_edges = parts.triples.size();
+
+  auto fail = [](const char* what) -> Status {
+    return Status::ParseError(std::string("graph restore: ") + what);
+  };
+
+  if (parts.node_types.size() != n) return fail("node type count != nodes");
+  for (TypeId t : parts.node_types) {
+    if (t >= num_types) return fail("node type id out of range");
+  }
+  std::unordered_map<uint64_t, std::vector<PredicateId>> edge_index;
+  edge_index.reserve(parts.triples.size());
+  for (const Triple& t : parts.triples) {
+    if (t.head >= n || t.tail >= n) return fail("triple node out of range");
+    if (t.predicate >= num_preds) {
+      return fail("triple predicate out of range");
+    }
+    auto& preds = edge_index[PackPair(t.head, t.tail)];
+    if (std::find(preds.begin(), preds.end(), t.predicate) != preds.end()) {
+      return fail("duplicate triple");
+    }
+    preds.push_back(t.predicate);
+  }
+
+  // CSR adjacency: offsets must be a monotone prefix-sum ending at 2|E|,
+  // per-node degrees must match the triples, each list must be strictly
+  // sorted the way Finalize() sorts (neighbor, predicate, forward), and
+  // every entry must correspond to a stored triple in the direction its
+  // flag claims. Degrees matching + strictness + per-entry triple existence
+  // together force the adjacency to be exactly the triples' CSR, so a
+  // checksum-valid but inconsistent snapshot cannot install a graph whose
+  // index contradicts its triple set.
+  if (parts.adj_offsets.size() != n + 1 || parts.adj_offsets[0] != 0 ||
+      parts.adj_offsets[n] != parts.adj.size() ||
+      parts.adj.size() != 2 * num_edges) {
+    return fail("adjacency offsets malformed");
+  }
+  std::vector<uint64_t> degree(n, 0);
+  for (const Triple& t : parts.triples) {
+    ++degree[t.head];
+    ++degree[t.tail];
+  }
+  for (size_t u = 0; u < n; ++u) {
+    if (parts.adj_offsets[u] > parts.adj_offsets[u + 1]) {
+      return fail("adjacency offsets not monotonic");
+    }
+    if (parts.adj_offsets[u + 1] - parts.adj_offsets[u] != degree[u]) {
+      return fail("adjacency degree mismatch");
+    }
+    for (uint64_t i = parts.adj_offsets[u]; i < parts.adj_offsets[u + 1];
+         ++i) {
+      const AdjEntry& e = parts.adj[i];
+      if (e.neighbor >= n) return fail("adjacency neighbor out of range");
+      if (e.predicate >= num_preds) {
+        return fail("adjacency predicate out of range");
+      }
+      if (i > parts.adj_offsets[u]) {
+        const AdjEntry& prev = parts.adj[i - 1];
+        if (std::tie(prev.neighbor, prev.predicate, prev.forward) >=
+            std::tie(e.neighbor, e.predicate, e.forward)) {
+          return fail("adjacency list not strictly sorted");
+        }
+      }
+      const uint64_t key = e.forward
+                               ? PackPair(static_cast<NodeId>(u), e.neighbor)
+                               : PackPair(e.neighbor, static_cast<NodeId>(u));
+      auto it = edge_index.find(key);
+      if (it == edge_index.end() ||
+          std::find(it->second.begin(), it->second.end(), e.predicate) ==
+              it->second.end()) {
+        return fail("adjacency entry has no matching triple");
+      }
+    }
+  }
+
+  // Type index: offsets partition the node set and every member has the
+  // type its bucket claims.
+  if (parts.type_offsets.size() != num_types + 1 ||
+      parts.type_offsets[0] != 0 ||
+      parts.type_offsets[num_types] != parts.type_members.size() ||
+      parts.type_members.size() != n) {
+    return fail("type index malformed");
+  }
+  for (size_t t = 0; t < num_types; ++t) {
+    if (parts.type_offsets[t] > parts.type_offsets[t + 1]) {
+      return fail("type offsets not monotonic");
+    }
+    for (uint64_t i = parts.type_offsets[t]; i < parts.type_offsets[t + 1];
+         ++i) {
+      NodeId u = parts.type_members[i];
+      if (u >= n || parts.node_types[u] != t) {
+        return fail("type member mismatch");
+      }
+    }
+  }
+
+  auto graph = std::make_unique<KnowledgeGraph>();
+  graph->names_ = std::move(parts.names);
+  graph->types_ = std::move(parts.types);
+  graph->predicates_ = std::move(parts.predicates);
+  graph->node_types_ = std::move(parts.node_types);
+  graph->triples_ = std::move(parts.triples);
+  graph->adj_offsets_ = std::move(parts.adj_offsets);
+  graph->adj_ = std::move(parts.adj);
+  graph->type_offsets_ = std::move(parts.type_offsets);
+  graph->type_members_ = std::move(parts.type_members);
+  graph->edge_index_ = std::move(edge_index);
+  graph->finalized_ = true;
+  return graph;
 }
 
 bool KnowledgeGraph::HasTriple(NodeId head, PredicateId predicate,

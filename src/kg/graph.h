@@ -148,6 +148,53 @@ class KnowledgeGraph {
     return predicates_.Intern(predicate);
   }
 
+  // ----- flat storage (kg/snapshot.h) -----
+
+  const Dictionary& names_dict() const { return names_; }
+  const Dictionary& types_dict() const { return types_; }
+  const Dictionary& predicates_dict() const { return predicates_; }
+  const std::vector<TypeId>& node_types() const { return node_types_; }
+
+  /// CSR arrays; require Finalize().
+  std::span<const uint64_t> adj_offsets() const {
+    KG_CHECK(finalized_);
+    return adj_offsets_;
+  }
+  std::span<const AdjEntry> adjacency() const {
+    KG_CHECK(finalized_);
+    return adj_;
+  }
+  std::span<const uint64_t> type_offsets() const {
+    KG_CHECK(finalized_);
+    return type_offsets_;
+  }
+  std::span<const NodeId> type_members() const {
+    KG_CHECK(finalized_);
+    return type_members_;
+  }
+
+  /// Everything a finalized graph is made of, in flat-buffer form. Produced
+  /// by the kgpack decoder; consumed by FromFlatParts.
+  struct FlatParts {
+    Dictionary names;
+    Dictionary types;
+    Dictionary predicates;
+    std::vector<TypeId> node_types;
+    std::vector<Triple> triples;
+    std::vector<uint64_t> adj_offsets;
+    std::vector<AdjEntry> adj;
+    std::vector<uint64_t> type_offsets;
+    std::vector<NodeId> type_members;
+  };
+
+  /// Restores a finalized graph by installing prebuilt CSR/index vectors —
+  /// no re-sorting, no re-parsing; only the directed-edge hash index is
+  /// rebuilt (O(|E|)). Every structural invariant Finalize() would have
+  /// established is re-checked; violations are ParseErrors, never aborts,
+  /// so corrupt snapshots cannot produce a graph that later trips KG_CHECK.
+  static Result<std::unique_ptr<KnowledgeGraph>> FromFlatParts(
+      FlatParts parts);
+
  private:
   Dictionary names_;       // node id == name symbol id
   Dictionary types_;

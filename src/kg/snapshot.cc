@@ -1,0 +1,383 @@
+#include "kg/snapshot.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "kg/triple_io.h"
+#include "util/binary_io.h"
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+namespace {
+
+// Section ids inside the payload, in required order.
+constexpr uint32_t kSectionGraph = 1;
+constexpr uint32_t kSectionLibrary = 2;
+constexpr uint32_t kSectionSpace = 3;
+
+// Triples are written as one bulk vector copy; this pins the layout the
+// format depends on.
+static_assert(sizeof(Triple) == 12 &&
+                  std::has_unique_object_representations_v<Triple>,
+              "Triple must be a packed 3x u32 POD for bulk serialization");
+
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+// ----- dictionary -----
+
+void WriteDictionary(const Dictionary& dict, BinaryWriter* out) {
+  std::vector<uint64_t> offsets;
+  offsets.reserve(dict.size() + 1);
+  std::string blob;
+  blob.reserve(dict.payload_bytes());
+  offsets.push_back(0);
+  for (SymbolId id = 0; id < dict.size(); ++id) {
+    blob.append(dict.Get(id));
+    offsets.push_back(blob.size());
+  }
+  out->WriteString(blob);
+  out->WriteVector(offsets);
+}
+
+Result<Dictionary> ReadDictionary(BinaryReader* in) {
+  std::string_view blob;
+  KG_RETURN_NOT_OK(in->ReadStringView(&blob));
+  std::vector<uint64_t> offsets;
+  KG_RETURN_NOT_OK(in->ReadVector(&offsets));
+  return Dictionary::FromFlat(blob, offsets);
+}
+
+// ----- sections -----
+
+void WriteGraphSection(const KnowledgeGraph& graph, BinaryWriter* out) {
+  WriteDictionary(graph.names_dict(), out);
+  WriteDictionary(graph.types_dict(), out);
+  WriteDictionary(graph.predicates_dict(), out);
+  out->WriteVector(graph.node_types());
+  out->WriteVector(graph.triples());
+
+  // Adjacency as structure-of-arrays: AdjEntry has padding bytes, so the
+  // struct itself is not bulk-serializable; three packed arrays are.
+  const auto adj = graph.adjacency();
+  std::vector<NodeId> neighbors(adj.size());
+  std::vector<PredicateId> predicates(adj.size());
+  std::vector<uint8_t> forward(adj.size());
+  for (size_t i = 0; i < adj.size(); ++i) {
+    neighbors[i] = adj[i].neighbor;
+    predicates[i] = adj[i].predicate;
+    forward[i] = adj[i].forward ? 1 : 0;
+  }
+  std::vector<uint64_t> adj_offsets(graph.adj_offsets().begin(),
+                                    graph.adj_offsets().end());
+  out->WriteVector(adj_offsets);
+  out->WriteVector(neighbors);
+  out->WriteVector(predicates);
+  out->WriteVector(forward);
+
+  std::vector<uint64_t> type_offsets(graph.type_offsets().begin(),
+                                     graph.type_offsets().end());
+  std::vector<NodeId> type_members(graph.type_members().begin(),
+                                   graph.type_members().end());
+  out->WriteVector(type_offsets);
+  out->WriteVector(type_members);
+}
+
+Result<std::unique_ptr<KnowledgeGraph>> ReadGraphSection(BinaryReader* in) {
+  KnowledgeGraph::FlatParts parts;
+  {
+    Result<Dictionary> names = ReadDictionary(in);
+    KG_RETURN_NOT_OK(names.status());
+    parts.names = std::move(names).ValueOrDie();
+    Result<Dictionary> types = ReadDictionary(in);
+    KG_RETURN_NOT_OK(types.status());
+    parts.types = std::move(types).ValueOrDie();
+    Result<Dictionary> predicates = ReadDictionary(in);
+    KG_RETURN_NOT_OK(predicates.status());
+    parts.predicates = std::move(predicates).ValueOrDie();
+  }
+  KG_RETURN_NOT_OK(in->ReadVector(&parts.node_types));
+  KG_RETURN_NOT_OK(in->ReadVector(&parts.triples));
+
+  std::vector<NodeId> neighbors;
+  std::vector<PredicateId> predicates;
+  std::vector<uint8_t> forward;
+  KG_RETURN_NOT_OK(in->ReadVector(&parts.adj_offsets));
+  KG_RETURN_NOT_OK(in->ReadVector(&neighbors));
+  KG_RETURN_NOT_OK(in->ReadVector(&predicates));
+  KG_RETURN_NOT_OK(in->ReadVector(&forward));
+  if (neighbors.size() != predicates.size() ||
+      neighbors.size() != forward.size()) {
+    return Status::ParseError("adjacency arrays have mismatched lengths");
+  }
+  parts.adj.resize(neighbors.size());
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    parts.adj[i] = AdjEntry{neighbors[i], predicates[i], forward[i] != 0};
+  }
+
+  KG_RETURN_NOT_OK(in->ReadVector(&parts.type_offsets));
+  KG_RETURN_NOT_OK(in->ReadVector(&parts.type_members));
+  return KnowledgeGraph::FromFlatParts(std::move(parts));
+}
+
+void WriteLibrarySection(const TransformationLibrary& library,
+                         BinaryWriter* out) {
+  const auto records = library.ExportRecords();
+  out->WriteU64(records.size());
+  for (const auto& r : records) {
+    out->WriteU8(r.type_scope ? 1 : 0);
+    out->WriteU8(static_cast<uint8_t>(r.kind));
+    out->WriteString(r.alias);
+    out->WriteString(r.canonical);
+  }
+}
+
+Result<TransformationLibrary> ReadLibrarySection(BinaryReader* in) {
+  uint64_t count = 0;
+  KG_RETURN_NOT_OK(in->ReadU64(&count));
+  TransformationLibrary library;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t scope = 0, kind = 0;
+    std::string_view alias, canonical;
+    KG_RETURN_NOT_OK(in->ReadU8(&scope));
+    KG_RETURN_NOT_OK(in->ReadU8(&kind));
+    KG_RETURN_NOT_OK(in->ReadStringView(&alias));
+    KG_RETURN_NOT_OK(in->ReadStringView(&canonical));
+    if (scope > 1) {
+      return Status::ParseError("library record has invalid scope");
+    }
+    const auto match_kind = static_cast<MatchKind>(kind);
+    if (match_kind != MatchKind::kSynonym &&
+        match_kind != MatchKind::kAbbreviation) {
+      return Status::ParseError("library record has invalid kind");
+    }
+    if (scope == 1) {
+      if (match_kind == MatchKind::kSynonym) {
+        library.AddTypeSynonym(alias, canonical);
+      } else {
+        library.AddTypeAbbreviation(alias, canonical);
+      }
+    } else {
+      if (match_kind == MatchKind::kSynonym) {
+        library.AddNameSynonym(alias, canonical);
+      } else {
+        library.AddNameAbbreviation(alias, canonical);
+      }
+    }
+  }
+  return library;
+}
+
+void WriteSpaceSection(const PredicateSpace& space, BinaryWriter* out) {
+  out->WriteU64(space.NumPredicates());
+  for (PredicateId p = 0; p < space.NumPredicates(); ++p) {
+    out->WriteString(space.names()[p]);
+    out->WriteVector(space.vectors()[p]);
+  }
+}
+
+Result<std::unique_ptr<PredicateSpace>> ReadSpaceSection(BinaryReader* in) {
+  uint64_t count = 0;
+  KG_RETURN_NOT_OK(in->ReadU64(&count));
+  if (count > in->remaining() / sizeof(uint64_t)) {
+    return Status::ParseError("predicate count exceeds input size");
+  }
+  std::vector<std::string> names(count);
+  std::vector<FloatVec> vectors(count);
+  for (uint64_t p = 0; p < count; ++p) {
+    KG_RETURN_NOT_OK(in->ReadString(&names[p]));
+    KG_RETURN_NOT_OK(in->ReadVector(&vectors[p]));
+  }
+  // Verbatim install: vectors were normalized when the saved space was
+  // built, and re-normalizing would perturb the float bits.
+  return std::make_unique<PredicateSpace>(
+      PredicateSpace::FromNormalized(std::move(vectors), std::move(names)));
+}
+
+/// The save-side and load-side consistency contract between the graph and
+/// its predicate space (mirrors KgSession::RegisterDataset).
+Status CheckSpaceCoversGraph(const KnowledgeGraph& graph,
+                             const PredicateSpace& space) {
+  if (space.NumPredicates() < graph.NumPredicates()) {
+    return Status::InvalidArgument(StrFormat(
+        "predicate space covers %zu of the graph's %zu predicates",
+        space.NumPredicates(), graph.NumPredicates()));
+  }
+  for (PredicateId p = 0; p < graph.NumPredicates(); ++p) {
+    if (space.names()[p] != graph.PredicateName(p)) {
+      return Status::InvalidArgument(
+          StrFormat("predicate %u named \"%s\" in the space but \"%s\" in "
+                    "the graph",
+                    p, space.names()[p].c_str(),
+                    std::string(graph.PredicateName(p)).c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+/// Writes "u32 id + u64 length + body" with the body emitted directly into
+/// `out` and the length patched afterwards — no per-section staging buffer,
+/// so encoding holds one copy of the snapshot bytes, not three.
+template <typename BodyFn>
+void WriteSection(uint32_t id, BinaryWriter* out, BodyFn&& body_fn) {
+  out->WriteU32(id);
+  const size_t length_slot = out->size();
+  out->WriteU64(0);
+  const size_t body_start = out->size();
+  body_fn(out);
+  out->PatchU64(length_slot, out->size() - body_start);
+}
+
+Result<std::string_view> ReadSection(BinaryReader* in, uint32_t expected_id) {
+  uint32_t id = 0;
+  KG_RETURN_NOT_OK(in->ReadU32(&id));
+  if (id != expected_id) {
+    return Status::ParseError(StrFormat(
+        "expected kgpack section %u, found %u", expected_id, id));
+  }
+  std::string_view body;
+  Status read = in->ReadStringView(&body);
+  if (!read.ok()) {
+    return Status::ParseError(StrFormat("kgpack section %u is truncated",
+                                        id));
+  }
+  return body;
+}
+
+}  // namespace
+
+bool LooksLikeKgPack(std::string_view bytes) {
+  return bytes.size() >= kKgPackMagic.size() &&
+         bytes.substr(0, kKgPackMagic.size()) == kKgPackMagic;
+}
+
+Result<std::string> EncodeSnapshot(const KnowledgeGraph& graph,
+                                   const PredicateSpace& space,
+                                   const TransformationLibrary& library) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument(
+        "snapshots require a finalized graph (call Finalize() first)");
+  }
+  KG_RETURN_NOT_OK(CheckSpaceCoversGraph(graph, space));
+
+  BinaryWriter out;
+  out.WriteRaw(kKgPackMagic.data(), kKgPackMagic.size());
+  out.WriteU32(kKgPackVersion);
+  const size_t payload_size_slot = out.size();
+  out.WriteU64(0);
+  const size_t checksum_slot = out.size();
+  out.WriteU32(0);
+  const size_t payload_start = out.size();
+
+  WriteSection(kSectionGraph, &out,
+               [&graph](BinaryWriter* w) { WriteGraphSection(graph, w); });
+  WriteSection(kSectionLibrary, &out, [&library](BinaryWriter* w) {
+    WriteLibrarySection(library, w);
+  });
+  WriteSection(kSectionSpace, &out,
+               [&space](BinaryWriter* w) { WriteSpaceSection(space, w); });
+
+  out.PatchU64(payload_size_slot, out.size() - payload_start);
+  out.PatchU32(checksum_slot,
+               Crc32(out.buffer().data() + payload_start,
+                     out.size() - payload_start));
+  return out.Release();
+}
+
+Result<DatasetSnapshot> DecodeSnapshot(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::ParseError(StrFormat(
+        "kgpack header truncated: %zu bytes, need %zu", bytes.size(),
+        kHeaderBytes));
+  }
+  if (!LooksLikeKgPack(bytes)) {
+    return Status::ParseError("not a kgpack snapshot (bad magic)");
+  }
+  BinaryReader header(bytes.substr(kKgPackMagic.size()));
+  uint32_t version = 0, checksum = 0;
+  uint64_t payload_size = 0;
+  KG_RETURN_NOT_OK(header.ReadU32(&version));
+  KG_RETURN_NOT_OK(header.ReadU64(&payload_size));
+  KG_RETURN_NOT_OK(header.ReadU32(&checksum));
+  if (version != kKgPackVersion) {
+    return Status::ParseError(StrFormat(
+        "kgpack version %u is not supported (this build reads version %u)",
+        version, kKgPackVersion));
+  }
+  const std::string_view payload = bytes.substr(kHeaderBytes);
+  if (payload.size() < payload_size) {
+    return Status::ParseError(StrFormat(
+        "kgpack payload truncated: header declares %llu bytes, file has "
+        "%zu",
+        static_cast<unsigned long long>(payload_size), payload.size()));
+  }
+  if (payload.size() > payload_size) {
+    return Status::ParseError("trailing bytes after the kgpack payload");
+  }
+  if (Crc32(payload) != checksum) {
+    return Status::ParseError(
+        "kgpack checksum mismatch (file corrupted or partially written)");
+  }
+
+  BinaryReader in(payload);
+  Result<std::string_view> graph_body = ReadSection(&in, kSectionGraph);
+  KG_RETURN_NOT_OK(graph_body.status());
+  Result<std::string_view> library_body = ReadSection(&in, kSectionLibrary);
+  KG_RETURN_NOT_OK(library_body.status());
+  Result<std::string_view> space_body = ReadSection(&in, kSectionSpace);
+  KG_RETURN_NOT_OK(space_body.status());
+  if (!in.AtEnd()) {
+    return Status::ParseError("trailing bytes after the kgpack sections");
+  }
+
+  DatasetSnapshot snapshot;
+  {
+    BinaryReader section(graph_body.ValueOrDie());
+    Result<std::unique_ptr<KnowledgeGraph>> graph =
+        ReadGraphSection(&section);
+    KG_RETURN_NOT_OK(graph.status());
+    if (!section.AtEnd()) {
+      return Status::ParseError("trailing bytes in the kgpack graph section");
+    }
+    snapshot.graph = std::move(graph).ValueOrDie();
+  }
+  {
+    BinaryReader section(library_body.ValueOrDie());
+    Result<TransformationLibrary> library = ReadLibrarySection(&section);
+    KG_RETURN_NOT_OK(library.status());
+    if (!section.AtEnd()) {
+      return Status::ParseError(
+          "trailing bytes in the kgpack library section");
+    }
+    snapshot.library = std::move(library).ValueOrDie();
+  }
+  {
+    BinaryReader section(space_body.ValueOrDie());
+    Result<std::unique_ptr<PredicateSpace>> space =
+        ReadSpaceSection(&section);
+    KG_RETURN_NOT_OK(space.status());
+    if (!section.AtEnd()) {
+      return Status::ParseError("trailing bytes in the kgpack space section");
+    }
+    snapshot.space = std::move(space).ValueOrDie();
+  }
+  KG_RETURN_NOT_OK(CheckSpaceCoversGraph(*snapshot.graph, *snapshot.space));
+  return snapshot;
+}
+
+Status SaveSnapshot(const std::string& path, const KnowledgeGraph& graph,
+                    const PredicateSpace& space,
+                    const TransformationLibrary& library) {
+  Result<std::string> encoded = EncodeSnapshot(graph, space, library);
+  KG_RETURN_NOT_OK(encoded.status());
+  return WriteStringToFile(path, encoded.ValueOrDie());
+}
+
+Result<DatasetSnapshot> LoadSnapshot(const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  KG_RETURN_NOT_OK(bytes.status());
+  return DecodeSnapshot(bytes.ValueOrDie());
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,77 @@
+// kgpack: versioned, checksummed binary snapshots of a finalized dataset.
+//
+// A snapshot bundles everything KgSession needs to serve a dataset — the
+// KnowledgeGraph (dictionaries, triples, CSR adjacency, type index), the
+// TransformationLibrary, and the trained PredicateSpace — into one file, so
+// a restart restores a dataset with a handful of bulk reads into
+// preallocated flat buffers instead of re-parsing N-Triples and re-training
+// TransE. Embedding floats are stored as raw IEEE-754 bits, so a loaded
+// dataset answers queries bit-identically to the one that was saved (the
+// snapshot differential tests assert this end to end).
+//
+// File layout (all integers little-endian):
+//   [0..3]   magic "KGPK"
+//   [4..7]   u32 format version (kKgPackVersion)
+//   [8..15]  u64 payload byte length
+//   [16..19] u32 CRC-32 of the payload
+//   [20.. ]  payload: the GRAPH, LIBRARY, and SPACE sections in that order,
+//            each prefixed by u32 section id + u64 section byte length
+//
+// Decoding is total: wrong magic, versions from the future, truncation,
+// checksum mismatches, and structurally inconsistent payloads all return a
+// precise Status — never an abort, never a silently wrong graph (the graph
+// section re-runs every Finalize() invariant before installing the CSR).
+#ifndef KGSEARCH_KG_SNAPSHOT_H_
+#define KGSEARCH_KG_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "embedding/predicate_space.h"
+#include "kg/graph.h"
+#include "match/transformation_library.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+/// Format version written by this build; decoders reject anything newer.
+inline constexpr uint32_t kKgPackVersion = 1;
+
+/// The 4-byte file magic.
+inline constexpr std::string_view kKgPackMagic = "KGPK";
+
+/// True when `bytes` starts with the kgpack magic (the sniff LoadDataset
+/// uses to route a graph file to the snapshot fast path).
+bool LooksLikeKgPack(std::string_view bytes);
+
+/// A decoded snapshot: a finalized graph plus its matching space/library.
+struct DatasetSnapshot {
+  std::unique_ptr<KnowledgeGraph> graph;
+  std::unique_ptr<PredicateSpace> space;
+  TransformationLibrary library;
+};
+
+/// Serializes a dataset to kgpack bytes. The graph must be finalized and
+/// `space` must cover the graph's predicates by id (name-checked), the same
+/// contract KgSession::RegisterDataset enforces; violations are
+/// kInvalidArgument.
+Result<std::string> EncodeSnapshot(const KnowledgeGraph& graph,
+                                   const PredicateSpace& space,
+                                   const TransformationLibrary& library);
+
+/// Parses kgpack bytes back into a servable dataset.
+Result<DatasetSnapshot> DecodeSnapshot(std::string_view bytes);
+
+/// EncodeSnapshot + one atomic-ish file write (write then rename is not
+/// attempted; partial writes surface as checksum errors on load).
+Status SaveSnapshot(const std::string& path, const KnowledgeGraph& graph,
+                    const PredicateSpace& space,
+                    const TransformationLibrary& library);
+
+/// One bulk file read + DecodeSnapshot.
+Result<DatasetSnapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_KG_SNAPSHOT_H_

@@ -11,6 +11,7 @@
 #include "kg/graph.h"
 #include "match/transformation_library.h"
 #include "util/lru_cache.h"
+#include "util/string_util.h"
 
 namespace kgsearch {
 
@@ -18,12 +19,19 @@ namespace kgsearch {
 /// after construction, so cached lists never go stale; one cache can back
 /// every matcher over the same (graph, library) pair — the serving layer
 /// installs one instance into both the SGQ and TBQ engines.
+///
+/// Keys are std::string (owned) but lookups are heterogeneous string_views,
+/// so the MatchByName/MatchByType hot path allocates no temporary string on
+/// a cache hit; only the Put after a miss materializes the key.
 struct MatcherCandidateCache {
+  using Cache =
+      LruCache<std::string, std::vector<NodeId>, StringViewHash, StringViewEq>;
+
   explicit MatcherCandidateCache(size_t capacity)
       : by_name(capacity), by_type(capacity) {}
 
-  LruCache<std::string, std::vector<NodeId>> by_name;
-  LruCache<std::string, std::vector<NodeId>> by_type;
+  Cache by_name;
+  Cache by_type;
 
   uint64_t hits() const { return by_name.hits() + by_type.hits(); }
   uint64_t misses() const { return by_name.misses() + by_type.misses(); }
@@ -54,7 +62,7 @@ class NodeMatcher {
   /// `query_name`. Empty when nothing matches.
   std::vector<NodeId> MatchByName(std::string_view query_name) const {
     std::vector<NodeId> out;
-    if (cache_ && cache_->by_name.Get(std::string(query_name), &out)) {
+    if (cache_ && cache_->by_name.Get(query_name, &out)) {
       return out;
     }
     for (const Resolution& r : library_->ResolveName(query_name)) {
@@ -78,7 +86,7 @@ class NodeMatcher {
   /// φ for a target node: all KG nodes whose type resolves from `query_type`.
   std::vector<NodeId> MatchByType(std::string_view query_type) const {
     std::vector<NodeId> out;
-    if (cache_ && cache_->by_type.Get(std::string(query_type), &out)) {
+    if (cache_ && cache_->by_type.Get(query_type, &out)) {
       return out;
     }
     for (TypeId t : MatchTypes(query_type)) {

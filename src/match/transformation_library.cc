@@ -31,28 +31,41 @@ std::vector<Resolution> TransformationLibrary::Resolve(
 }
 
 std::string TransformationLibrary::Serialize() const {
+  // A thin TSV formatter over the one canonical export order.
   std::string out;
-  auto emit = [&out](const RecordMap& map, const char* scope) {
-    // Sort aliases for deterministic output.
-    std::vector<std::string> aliases;
+  for (const ExportedRecord& r : ExportRecords()) {
+    out += (r.kind == MatchKind::kSynonym) ? "synonym" : "abbreviation";
+    out += '\t';
+    out += r.type_scope ? "type" : "name";
+    out += '\t';
+    out += r.alias;
+    out += '\t';
+    out += r.canonical;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<TransformationLibrary::ExportedRecord>
+TransformationLibrary::ExportRecords() const {
+  std::vector<ExportedRecord> out;
+  out.reserve(CountRecords(type_records_) + CountRecords(name_records_));
+  auto emit = [&out](const RecordMap& map, bool type_scope) {
+    std::vector<const std::string*> aliases;
     aliases.reserve(map.size());
-    for (const auto& [alias, _] : map) aliases.push_back(alias);
-    std::sort(aliases.begin(), aliases.end());
-    for (const auto& alias : aliases) {
-      for (const Record& r : map.at(alias)) {
-        out += (r.kind == MatchKind::kSynonym) ? "synonym" : "abbreviation";
-        out += '\t';
-        out += scope;
-        out += '\t';
-        out += alias;
-        out += '\t';
-        out += r.canonical;
-        out += '\n';
+    for (const auto& [alias, _] : map) aliases.push_back(&alias);
+    std::sort(aliases.begin(), aliases.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    for (const std::string* alias : aliases) {
+      for (const Record& r : map.at(*alias)) {
+        out.push_back(ExportedRecord{type_scope, r.kind, *alias, r.canonical});
       }
     }
   };
-  emit(type_records_, "type");
-  emit(name_records_, "name");
+  emit(type_records_, true);
+  emit(name_records_, false);
   return out;
 }
 

@@ -86,6 +86,20 @@ class TransformationLibrary {
   /// Parses Serialize() output.
   static Result<TransformationLibrary> Deserialize(std::string_view text);
 
+  /// One exported alias record (the stored, lower-cased alias key).
+  struct ExportedRecord {
+    bool type_scope;  ///< true = type record, false = name record
+    MatchKind kind;
+    std::string alias;
+    std::string canonical;
+  };
+
+  /// All records in deterministic order: type records before name records,
+  /// aliases sorted, and records under one alias in insertion order — so
+  /// re-adding them in order rebuilds a library whose Resolve() output is
+  /// identical (the snapshot round-trip guarantee).
+  std::vector<ExportedRecord> ExportRecords() const;
+
  private:
   struct Record {
     std::string canonical;

@@ -15,7 +15,13 @@ namespace kgsearch {
 /// exclusive under one mutex — values are copied out rather than referenced,
 /// so callers never hold pointers into the cache. A capacity of 0 disables
 /// the cache entirely (every Get misses, Put is a no-op).
-template <typename K, typename V>
+///
+/// When `Hash`/`Eq` are transparent (declare `is_transparent`), Get accepts
+/// any key type they can compare — e.g. a string_view probing a
+/// string-keyed cache without constructing a temporary std::string on the
+/// hot hit path (the node-matcher candidate caches rely on this).
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
 class LruCache {
  public:
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
@@ -25,7 +31,8 @@ class LruCache {
 
   /// Copies the cached value into `*out` and returns true on a hit; the
   /// entry becomes most-recently-used.
-  bool Get(const K& key, V* out) {
+  template <typename LookupKey = K>
+  bool Get(const LookupKey& key, V* out) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);
     if (it == index_.end()) {
@@ -76,7 +83,8 @@ class LruCache {
   mutable std::mutex mutex_;
   /// Most-recently-used first.
   std::list<std::pair<K, V>> entries_;
-  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator>
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash,
+                     Eq>
       index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

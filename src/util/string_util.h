@@ -31,6 +31,22 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Transparent hashing/equality so unordered containers keyed by std::string
+/// (or string_view) accept string_view lookups without constructing a
+/// temporary std::string.
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>()(s);
+  }
+};
+struct StringViewEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
 }  // namespace kgsearch
 
 #endif  // KGSEARCH_UTIL_STRING_UTIL_H_

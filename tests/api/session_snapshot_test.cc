@@ -1,0 +1,180 @@
+// KgSession snapshot wiring: SaveDataset writes a kgpack any LoadDataset
+// restores through the magic-sniffing fast path, with the same answers and
+// precise Status errors on misuse (unknown dataset, conflicting options,
+// corrupt file, unwritable path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "kg/snapshot.h"
+#include "kg/triple_io.h"
+
+namespace kgsearch {
+namespace {
+
+struct CarParts {
+  std::unique_ptr<KnowledgeGraph> graph;
+  std::unique_ptr<PredicateSpace> space;
+  TransformationLibrary library;
+};
+
+CarParts MakeCarParts() {
+  CarParts parts;
+  parts.graph = std::make_unique<KnowledgeGraph>();
+  KnowledgeGraph& g = *parts.graph;
+  NodeId audi = g.AddNode("Audi_TT", "Automobile");
+  NodeId bmw = g.AddNode("BMW_320", "Automobile");
+  NodeId germany = g.AddNode("Germany", "Country");
+  NodeId regensburg = g.AddNode("Regensburg", "City");
+  g.AddEdge(bmw, "assembly", germany);
+  g.AddEdge(audi, "assembly", regensburg);
+  g.AddEdge(regensburg, "country", germany);
+  g.InternPredicate("product");
+  g.Finalize();
+
+  auto vec = [](double cosine) {
+    return FloatVec{
+        static_cast<float>(cosine),
+        static_cast<float>(std::sqrt(std::max(0.0, 1.0 - cosine * cosine)))};
+  };
+  std::vector<FloatVec> vectors(g.NumPredicates());
+  std::vector<std::string> names(g.NumPredicates());
+  auto set_vec = [&](const char* predicate, double cosine) {
+    PredicateId p = g.FindPredicate(predicate);
+    vectors[p] = vec(cosine);
+    names[p] = predicate;
+  };
+  set_vec("product", 1.0);
+  set_vec("assembly", 0.98);
+  set_vec("country", 0.91);
+  parts.space =
+      std::make_unique<PredicateSpace>(std::move(vectors), std::move(names));
+
+  parts.library.AddTypeSynonym("Car", "Automobile");
+  parts.library.AddNameAbbreviation("GER", "Germany");
+  return parts;
+}
+
+QueryRequest CarRequest() {
+  QueryRequest request;
+  request.dataset = "cars";
+  request.query_text = "?Car product GER";
+  request.options.k = 5;
+  request.options.tau = 0.6;
+  request.options.n_hat = 3;
+  return request;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(KgSessionSnapshotTest, SaveThenLoadServesIdenticalAnswers) {
+  const std::string path = TempPath("session_snapshot.kgpack");
+
+  KgSession saver;
+  CarParts parts = MakeCarParts();
+  ASSERT_TRUE(saver
+                  .RegisterDataset("cars", std::move(parts.graph),
+                                   std::move(parts.space),
+                                   std::move(parts.library))
+                  .ok());
+  ASSERT_TRUE(saver.SaveDataset("cars", path).ok());
+  auto saved_answers = saver.Query(CarRequest());
+  ASSERT_TRUE(saved_answers.ok());
+  ASSERT_FALSE(saved_answers.ValueOrDie().answers.empty());
+
+  KgSession loader;
+  DatasetLoadOptions load;
+  load.graph_path = path;  // sniffed as kgpack, no parsing/training
+  ASSERT_TRUE(loader.LoadDataset("cars", load).ok());
+  auto loaded_answers = loader.Query(CarRequest());
+  ASSERT_TRUE(loaded_answers.ok());
+  EXPECT_EQ(loaded_answers.ValueOrDie().answers,
+            saved_answers.ValueOrDie().answers);
+
+  const std::vector<DatasetInfo> listed = loader.ListDatasets();
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_EQ(listed[0].nodes, 4u);
+  EXPECT_EQ(listed[0].edges, 3u);
+  std::remove(path.c_str());
+}
+
+TEST(KgSessionSnapshotTest, SaveUnknownDatasetIsNotFound) {
+  KgSession session;
+  Status st = session.SaveDataset("nope", TempPath("never_written.kgpack"));
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(KgSessionSnapshotTest, SaveToUnwritablePathIsIOError) {
+  KgSession session;
+  CarParts parts = MakeCarParts();
+  ASSERT_TRUE(session
+                  .RegisterDataset("cars", std::move(parts.graph),
+                                   std::move(parts.space),
+                                   std::move(parts.library))
+                  .ok());
+  Status st = session.SaveDataset("cars", "/nonexistent/dir/out.kgpack");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(KgSessionSnapshotTest, SnapshotLoadRejectsConflictingOptions) {
+  const std::string path = TempPath("session_snapshot_conflict.kgpack");
+  KgSession saver;
+  CarParts parts = MakeCarParts();
+  ASSERT_TRUE(saver
+                  .RegisterDataset("cars", std::move(parts.graph),
+                                   std::move(parts.space),
+                                   std::move(parts.library))
+                  .ok());
+  ASSERT_TRUE(saver.SaveDataset("cars", path).ok());
+
+  KgSession loader;
+  DatasetLoadOptions bad;
+  bad.graph_path = path;
+  bad.train_transe = true;  // meaningless for a bundled snapshot
+  Status st = loader.LoadDataset("cars", bad);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  DatasetLoadOptions bad_space = DatasetLoadOptions{};
+  bad_space.graph_path = path;
+  bad_space.space_path = "some_space.txt";
+  EXPECT_EQ(loader.LoadDataset("cars", bad_space).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(KgSessionSnapshotTest, CorruptSnapshotIsAParseErrorNotACrash) {
+  const std::string path = TempPath("session_snapshot_corrupt.kgpack");
+  KgSession saver;
+  CarParts parts = MakeCarParts();
+  ASSERT_TRUE(saver
+                  .RegisterDataset("cars", std::move(parts.graph),
+                                   std::move(parts.space),
+                                   std::move(parts.library))
+                  .ok());
+  ASSERT_TRUE(saver.SaveDataset("cars", path).ok());
+
+  Result<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = bytes.ValueOrDie();
+  corrupt[corrupt.size() / 2] =
+      static_cast<char>(corrupt[corrupt.size() / 2] ^ 0x42);
+  ASSERT_TRUE(WriteStringToFile(path, corrupt).ok());
+
+  KgSession loader;
+  DatasetLoadOptions load;
+  load.graph_path = path;
+  Status st = loader.LoadDataset("cars", load);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_FALSE(loader.HasDataset("cars"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -54,5 +54,83 @@ TEST(DictionaryTest, StableUnderRehash) {
   }
 }
 
+TEST(DictionaryTest, ViewsStayValidAcrossArenaGrowth) {
+  Dictionary d;
+  // Hold views handed out early, then force many new arena chunks; the
+  // stability guarantee says the early views must not dangle or change.
+  std::vector<std::string_view> early;
+  for (int i = 0; i < 10; ++i) {
+    early.push_back(d.Get(d.Intern("early_" + std::to_string(i))));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    d.Intern(std::string(200, 'a' + (i % 26)) + std::to_string(i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(early[i], "early_" + std::to_string(i));
+  }
+}
+
+TEST(DictionaryTest, OversizedStringsGetDedicatedChunks) {
+  Dictionary d;
+  std::string big(1 << 20, 'x');  // far larger than one arena chunk
+  SymbolId small_before = d.Intern("before");
+  SymbolId big_id = d.Intern(big);
+  SymbolId small_after = d.Intern("after");
+  EXPECT_EQ(d.Get(big_id), big);
+  EXPECT_EQ(d.Get(small_before), "before");
+  EXPECT_EQ(d.Get(small_after), "after");
+  EXPECT_EQ(d.payload_bytes(), big.size() + 11);
+}
+
+TEST(DictionaryTest, MoveKeepsViewsAndLookups) {
+  Dictionary d;
+  d.Intern("alpha");
+  d.Intern("beta");
+  Dictionary moved = std::move(d);
+  EXPECT_EQ(moved.Lookup("alpha"), 0u);
+  EXPECT_EQ(moved.Get(1), "beta");
+}
+
+TEST(DictionaryFromFlatTest, RoundTripsAnInternedDictionary) {
+  Dictionary d;
+  std::vector<std::string> words = {"", "a", "hello world",
+                                    std::string(100000, 'z'), "a-gain"};
+  for (const auto& w : words) d.Intern(w);
+
+  // Flatten exactly the way kg/snapshot.cc does.
+  std::string blob;
+  std::vector<uint64_t> offsets = {0};
+  for (SymbolId id = 0; id < d.size(); ++id) {
+    blob.append(d.Get(id));
+    offsets.push_back(blob.size());
+  }
+
+  Result<Dictionary> restored = Dictionary::FromFlat(blob, offsets);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const Dictionary& r = restored.ValueOrDie();
+  ASSERT_EQ(r.size(), words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(r.Get(static_cast<SymbolId>(i)), words[i]);
+    EXPECT_EQ(r.Lookup(words[i]), static_cast<SymbolId>(i));
+  }
+  EXPECT_EQ(r.payload_bytes(), d.payload_bytes());
+}
+
+TEST(DictionaryFromFlatTest, RejectsMalformedOffsets) {
+  EXPECT_FALSE(Dictionary::FromFlat("abc", {}).ok());
+  // Last offset does not cover the blob.
+  EXPECT_FALSE(Dictionary::FromFlat("abc", {0, 2}).ok());
+  // Not monotonic.
+  EXPECT_FALSE(Dictionary::FromFlat("abc", {0, 2, 1, 3}).ok());
+  // Duplicate symbols.
+  EXPECT_FALSE(Dictionary::FromFlat("abab", {0, 2, 4}).ok());
+}
+
+TEST(DictionaryFromFlatTest, EmptyDictionaryRoundTrips) {
+  Result<Dictionary> restored = Dictionary::FromFlat("", {0});
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.ValueOrDie().size(), 0u);
+}
+
 }  // namespace
 }  // namespace kgsearch

@@ -1,0 +1,153 @@
+#include "util/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace kgsearch {
+namespace {
+
+TEST(Crc32Test, StandardCheckValue) {
+  // The canonical CRC-32 check string.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyAndSensitivity) {
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+  EXPECT_NE(Crc32("abc"), Crc32("ab"));
+}
+
+TEST(BinaryIoTest, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEFu);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI64(-42);
+  w.WriteFloat(1.5f);
+  w.WriteDouble(0.1);
+
+  BinaryReader r(w.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f = 0;
+  double d = 0;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadFloat(&f).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f, 1.5f);
+  EXPECT_EQ(d, 0.1);  // bit-exact, not approximately
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, FloatBitsAreExact) {
+  // Denormals, infinities, and NaN payloads must survive the round trip.
+  const std::vector<float> specials = {
+      0.0f, -0.0f, std::numeric_limits<float>::denorm_min(),
+      std::numeric_limits<float>::infinity(),
+      std::nextafterf(1.0f, 2.0f)};
+  BinaryWriter w;
+  w.WriteVector(specials);
+  float nan = std::nanf("0x7ab");
+  w.WriteFloat(nan);
+
+  BinaryReader r(w.buffer());
+  std::vector<float> out;
+  ASSERT_TRUE(r.ReadVector(&out).ok());
+  ASSERT_EQ(out.size(), specials.size());
+  for (size_t i = 0; i < specials.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint32_t>(out[i]),
+              std::bit_cast<uint32_t>(specials[i]));
+  }
+  float nan_out = 0;
+  ASSERT_TRUE(r.ReadFloat(&nan_out).ok());
+  EXPECT_EQ(std::bit_cast<uint32_t>(nan_out), std::bit_cast<uint32_t>(nan));
+}
+
+TEST(BinaryIoTest, StringRoundTripPreservesNulBytes) {
+  std::string s("a\0b\0c", 5);
+  BinaryWriter w;
+  w.WriteString(s);
+  w.WriteString("");
+
+  BinaryReader r(w.buffer());
+  std::string out, empty;
+  ASSERT_TRUE(r.ReadString(&out).ok());
+  ASSERT_TRUE(r.ReadString(&empty).ok());
+  EXPECT_EQ(out, s);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, VectorRoundTrip) {
+  std::vector<uint32_t> v = {1, 2, 3, 0xFFFFFFFFu};
+  std::vector<uint64_t> empty;
+  BinaryWriter w;
+  w.WriteVector(v);
+  w.WriteVector(empty);
+
+  BinaryReader r(w.buffer());
+  std::vector<uint32_t> v_out;
+  std::vector<uint64_t> empty_out = {99};
+  ASSERT_TRUE(r.ReadVector(&v_out).ok());
+  ASSERT_TRUE(r.ReadVector(&empty_out).ok());
+  EXPECT_EQ(v_out, v);
+  EXPECT_TRUE(empty_out.empty());
+}
+
+TEST(BinaryIoTest, ShortReadIsAnError) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  BinaryReader r(w.buffer());
+  uint64_t out = 0;
+  Status st = r.ReadU64(&out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(BinaryIoTest, CorruptStringLengthIsAnErrorNotAnAllocation) {
+  BinaryWriter w;
+  w.WriteU64(std::numeric_limits<uint64_t>::max());  // absurd length
+  w.WriteU32(0);
+  BinaryReader r(w.buffer());
+  std::string out;
+  EXPECT_FALSE(r.ReadString(&out).ok());
+}
+
+TEST(BinaryIoTest, CorruptVectorCountIsAnErrorNotAnAllocation) {
+  BinaryWriter w;
+  w.WriteU64(uint64_t{1} << 60);  // count far beyond the buffer
+  BinaryReader r(w.buffer());
+  std::vector<uint64_t> out;
+  Status st = r.ReadVector(&out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BinaryIoTest, PositionAndRemainingTrackReads) {
+  BinaryWriter w;
+  w.WriteU32(1);
+  w.WriteU32(2);
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 8u);
+  uint32_t x = 0;
+  ASSERT_TRUE(r.ReadU32(&x).ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+#include "util/string_util.h"
 
 namespace kgsearch {
 namespace {
@@ -49,6 +52,32 @@ TEST(LruCacheTest, ZeroCapacityDisables) {
   int v = 0;
   EXPECT_FALSE(cache.Get("a", &v));
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, HeterogeneousStringViewLookup) {
+  // Transparent hashing: a string-keyed cache probed with string_views,
+  // the node-matcher hot path. Hits must not require a std::string.
+  LruCache<std::string, int, StringViewHash, StringViewEq> cache(4);
+  cache.Put("alpha", 1);
+  cache.Put("beta", 2);
+
+  const std::string_view alpha_view = "alpha";
+  int v = 0;
+  ASSERT_TRUE(cache.Get(alpha_view, &v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(cache.Get(std::string_view("beta"), &v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(cache.Get(std::string_view("gamma"), &v));
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // string_view lookups refresh recency like string lookups do.
+  cache.Put("c", 3);
+  cache.Put("d", 4);
+  ASSERT_TRUE(cache.Get(std::string_view("alpha"), &v));
+  cache.Put("e", 5);  // evicts beta (LRU), not alpha
+  EXPECT_TRUE(cache.Get(std::string_view("alpha"), &v));
+  EXPECT_FALSE(cache.Get(std::string_view("beta"), &v));
 }
 
 TEST(LruCacheTest, ConcurrentMixedAccessIsSafe) {
