@@ -6,7 +6,8 @@
 // Usage:
 //   kgsearch_cli --graph kg.nt|kg.tsv [--space space.txt] [--library lib.tsv]
 //                [--train-transe] [--k 10] [--tau 0.8] [--nhat 4]
-//                [--time-bound-ms T] [--json] --query "?Automobile product Germany"
+//                [--time-bound-ms T] [--deadline-ms D] [--json]
+//                --query "?Automobile product Germany"
 //   kgsearch_cli save --graph kg.nt [--space f] [--library f] [--train-transe]
 //                     --snapshot kg.kgpack
 //   kgsearch_cli load --snapshot kg.kgpack [query flags] --query "..."
@@ -25,6 +26,11 @@
 // graph (--train-transe forces retraining even when --space is given).
 // With --json the raw wire-protocol response document is printed instead
 // of the human-readable answer table.
+//
+// --deadline-ms D is the serving stack's hard per-request wall: a query
+// that cannot finish inside D milliseconds aborts with DeadlineExceeded
+// (exit code 1) instead of running on. It composes with --time-bound-ms,
+// which is the paper's soft budget (graceful approximate answers).
 #include <charconv>
 #include <cstdio>
 #include <string>
@@ -51,13 +57,14 @@ struct CliOptions {
   double tau = 0.8;
   size_t n_hat = 4;
   int64_t time_bound_ms = 0;  // 0 = optimal SGQ, else TBQ
+  int64_t deadline_ms = 0;    // 0 = no hard per-request deadline
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --graph FILE [--space FILE] [--library FILE]\n"
                "          [--train-transe] [--k N] [--tau X] [--nhat N]\n"
-               "          [--time-bound-ms T] [--json]\n"
+               "          [--time-bound-ms T] [--deadline-ms D] [--json]\n"
                "          --query \"?Type pred Name\"\n"
                "   or: %s save --graph FILE [--space FILE] [--library FILE]\n"
                "          [--train-transe] --snapshot OUT.kgpack\n"
@@ -152,6 +159,15 @@ Result<CliOptions> ParseArgs(int argc, char** argv) {
       auto n = ParseNumber<int64_t>(arg, v.ValueOrDie());
       KG_RETURN_NOT_OK(n.status());
       opts.time_bound_ms = n.ValueOrDie();
+    } else if (arg == "--deadline-ms") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      auto n = ParseNumber<int64_t>(arg, v.ValueOrDie());
+      KG_RETURN_NOT_OK(n.status());
+      if (n.ValueOrDie() < 0) {
+        return Status::InvalidArgument("--deadline-ms must be >= 0");
+      }
+      opts.deadline_ms = n.ValueOrDie();
     } else {
       return Status::InvalidArgument("unknown flag: " + std::string(arg));
     }
@@ -255,6 +271,7 @@ int RunCli(const CliOptions& opts) {
     request.mode = QueryMode::kTbq;
     request.options.time_bound_micros = opts.time_bound_ms * 1000;
   }
+  request.deadline_ms = opts.deadline_ms;
 
   Result<QueryResponse> result = session.Query(request);
   if (opts.json) {

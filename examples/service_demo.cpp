@@ -5,10 +5,18 @@
 // public API facade.
 //
 //   $ ./example_service_demo [--threads N] [--clients C] [--rounds R]
+//                            [--deadline-ms D] [--max-in-flight M]
+//                            [--max-queued Q]
 //
 // Each client thread behaves like one user session: it fires the four Q117
 // query variants synchronously, plus an async time-bounded variant, and
-// checks every answer against the single-user reference.
+// checks every answer against the single-user reference. With
+// --deadline-ms every request carries a hard per-request deadline, and
+// with --max-in-flight/--max-queued the dataset's service sheds overload
+// with ResourceExhausted instead of queueing it — the demo's counters then
+// show the rejected/deadline-exceeded traffic alongside the served
+// traffic, and a request is only counted as a mismatch when it *succeeds*
+// with the wrong answer.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +57,9 @@ int main(int argc, char** argv) {
   size_t threads = std::thread::hardware_concurrency();
   size_t clients = 8;
   size_t rounds = 3;
+  int64_t deadline_ms = 0;
+  size_t max_in_flight = 0;
+  size_t max_queued = 0;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<size_t>(std::atoi(argv[i + 1]));
@@ -56,6 +67,16 @@ int main(int argc, char** argv) {
       clients = static_cast<size_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--rounds") == 0) {
       rounds = static_cast<size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      deadline_ms = std::atoll(argv[i + 1]);
+      if (deadline_ms < 0) {
+        std::fprintf(stderr, "--deadline-ms must be >= 0\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--max-in-flight") == 0) {
+      max_in_flight = static_cast<size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--max-queued") == 0) {
+      max_queued = static_cast<size_t>(std::atoi(argv[i + 1]));
     }
   }
 
@@ -68,6 +89,8 @@ int main(int argc, char** argv) {
 
   KgSessionOptions soptions;
   soptions.num_threads = threads;
+  soptions.max_in_flight = max_in_flight;
+  soptions.max_queued = max_queued;
   KgSession session(soptions);
   GeneratedDataset& ds = *dataset.ValueOrDie();
   Status registered =
@@ -101,35 +124,63 @@ int main(int argc, char** argv) {
                                          : response.answers[0].name.c_str());
   }
 
+  // Every client request carries the configured deadline; a shed request
+  // (rejected by admission or expired) is legitimate overload behavior,
+  // not a correctness failure.
+  auto make_request = [deadline_ms](int variant, QueryMode mode) {
+    QueryRequest request = Q117Request(variant, mode);
+    request.deadline_ms = deadline_ms;
+    return request;
+  };
+  auto is_shed = [](const Status& status) {
+    return status.code() == StatusCode::kResourceExhausted ||
+           status.code() == StatusCode::kDeadlineExceeded;
+  };
+
   std::vector<std::thread> sessions;
   std::vector<size_t> mismatches(clients, 0);
+  std::vector<size_t> shed(clients, 0);
+  std::vector<size_t> errors(clients, 0);
   std::vector<size_t> tbq_answer_counts(clients, 0);
   for (size_t c = 0; c < clients; ++c) {
     sessions.emplace_back([&, c] {
       for (size_t round = 0; round < rounds; ++round) {
         // An async TBQ request rides along with the synchronous SGQ traffic.
-        auto tbq_future = session.Submit(Q117Request(3, QueryMode::kTbq));
+        auto tbq_future =
+            session.Submit(make_request(3, QueryMode::kTbq));
         for (int variant = 1; variant <= 4; ++variant) {
-          auto r = session.Query(Q117Request(variant, QueryMode::kSgq));
-          if (!r.ok() ||
-              AnswerIds(r.ValueOrDie()) !=
-                  reference[static_cast<size_t>(variant - 1)]) {
-            ++mismatches[c];
+          auto r = session.Query(make_request(variant, QueryMode::kSgq));
+          if (r.ok()) {
+            if (AnswerIds(r.ValueOrDie()) !=
+                reference[static_cast<size_t>(variant - 1)]) {
+              ++mismatches[c];
+            }
+          } else if (is_shed(r.status())) {
+            ++shed[c];
+          } else {
+            ++errors[c];
           }
         }
         auto tbq = tbq_future.get();
         if (tbq.ok()) {
           tbq_answer_counts[c] += tbq.ValueOrDie().answers.size();
+        } else if (is_shed(tbq.status())) {
+          ++shed[c];
+        } else {
+          ++errors[c];
         }
       }
     });
   }
   for (auto& s : sessions) s.join();
 
-  size_t total_mismatches = 0;
+  size_t total_mismatches = 0, total_shed = 0, total_errors = 0;
   for (size_t m : mismatches) total_mismatches += m;
-  std::printf("\nall sessions done; answer mismatches vs. reference: %zu\n",
-              total_mismatches);
+  for (size_t s : shed) total_shed += s;
+  for (size_t e : errors) total_errors += e;
+  std::printf("\nall sessions done; answer mismatches vs. reference: %zu "
+              "(shed by overload control: %zu, other errors: %zu)\n",
+              total_mismatches, total_shed, total_errors);
 
   auto stats_result = session.Stats("car");
   if (!stats_result.ok()) {
@@ -144,6 +195,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.sgq_queries),
               static_cast<unsigned long long>(stats.tbq_queries),
               static_cast<unsigned long long>(stats.queries_failed));
+  std::printf("overload control   rejected %llu, deadline-exceeded %llu, "
+              "cancelled %llu\n",
+              static_cast<unsigned long long>(stats.queries_rejected),
+              static_cast<unsigned long long>(
+                  stats.queries_deadline_exceeded),
+              static_cast<unsigned long long>(stats.queries_cancelled));
   std::printf("qps                %.1f over %.2fs uptime\n", stats.qps,
               stats.uptime_seconds);
   std::printf("latency            p50 %.2fms  p95 %.2fms  max %.2fms\n",
@@ -157,5 +214,5 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.matcher_cache_hits));
   std::printf("session queue      %zu, in flight %zu\n",
               session.queue_depth(), stats.in_flight);
-  return total_mismatches == 0 ? 0 : 1;
+  return total_mismatches == 0 && total_errors == 0 ? 0 : 1;
 }

@@ -180,6 +180,7 @@ EngineOptions ToEngineOptions(const RequestOptions& options) {
   o.max_expansions = options.max_expansions;
   o.dedup = options.dedup;
   o.matches_per_target = options.matches_per_target;
+  o.stop_check_interval = options.stop_check_interval;
   return o;
 }
 
@@ -289,6 +290,9 @@ JsonValue EncodeQueryRequest(const QueryRequest& request) {
     json.Set("query_graph", EncodeQueryGraph(*request.query_graph));
   }
   json.Set("options", EncodeRequestOptions(request.options));
+  json.Set("deadline_ms", JsonValue::Int(request.deadline_ms));
+  json.Set("priority",
+           JsonValue::String(RequestPriorityName(request.priority)));
   return json;
 }
 
@@ -320,6 +324,21 @@ Result<QueryRequest> DecodeQueryRequest(const JsonValue& json) {
     KG_RETURN_NOT_OK(decoded.status());
     request.options = decoded.ValueOrDie();
   }
+  // Backward compatible: documents without the overload-control fields
+  // decode to "no deadline, normal priority" — the pre-deadline semantics.
+  Result<int64_t> deadline = JsonGetIntOr(json, "deadline_ms", 0);
+  KG_RETURN_NOT_OK(deadline.status());
+  if (deadline.ValueOrDie() < 0) {
+    return Status::InvalidArgument("\"deadline_ms\" must be >= 0");
+  }
+  request.deadline_ms = deadline.ValueOrDie();
+  Result<std::string> priority = JsonGetStringOr(
+      json, "priority", RequestPriorityName(request.priority));
+  KG_RETURN_NOT_OK(priority.status());
+  Result<RequestPriority> parsed_priority =
+      ParseRequestPriorityName(priority.ValueOrDie());
+  KG_RETURN_NOT_OK(parsed_priority.status());
+  request.priority = parsed_priority.ValueOrDie();
   return request;
 }
 
@@ -339,6 +358,9 @@ JsonValue EncodeQueryResponse(const QueryResponse& response) {
   json.Set("dataset", JsonValue::String(response.dataset));
   json.Set("mode", JsonValue::String(QueryModeName(response.mode)));
   json.Set("stopped_by_time", JsonValue::Bool(response.stopped_by_time));
+  json.Set("deadline_ms", JsonValue::Int(response.deadline_ms));
+  json.Set("priority",
+           JsonValue::String(RequestPriorityName(response.priority)));
   JsonValue answers = JsonValue::Array();
   for (const AnswerDto& answer : response.answers) {
     JsonValue a = JsonValue::Object();
@@ -384,6 +406,21 @@ Result<QueryResponse> DecodeQueryResponse(const JsonValue& json) {
   Result<bool> stopped = JsonGetBoolOr(json, "stopped_by_time", false);
   KG_RETURN_NOT_OK(stopped.status());
   response.stopped_by_time = stopped.ValueOrDie();
+  Result<int64_t> deadline = JsonGetIntOr(json, "deadline_ms", 0);
+  KG_RETURN_NOT_OK(deadline.status());
+  // Same validity rule as the request decoder: the echo of a field must
+  // not admit values the field itself rejects.
+  if (deadline.ValueOrDie() < 0) {
+    return Status::InvalidArgument("\"deadline_ms\" must be >= 0");
+  }
+  response.deadline_ms = deadline.ValueOrDie();
+  Result<std::string> priority = JsonGetStringOr(
+      json, "priority", RequestPriorityName(response.priority));
+  KG_RETURN_NOT_OK(priority.status());
+  Result<RequestPriority> parsed_priority =
+      ParseRequestPriorityName(priority.ValueOrDie());
+  KG_RETURN_NOT_OK(parsed_priority.status());
+  response.priority = parsed_priority.ValueOrDie();
   const JsonValue* answers = json.Find("answers");
   if (answers == nullptr || !answers->is_array()) {
     return Status::InvalidArgument("response needs an \"answers\" array");

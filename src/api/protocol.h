@@ -24,6 +24,7 @@
 
 #include "core/engine.h"
 #include "core/time_bounded.h"
+#include "service/admission.h"
 #include "util/json.h"
 
 namespace kgsearch {
@@ -64,6 +65,8 @@ struct RequestOptions {
   double alert_ratio = 0.8;
   double per_match_assembly_micros = -1.0;
   size_t match_cap = 0;
+  // Both modes: anytime-estimator poll cadence in TBQ, and the
+  // deadline/cancellation poll cadence everywhere.
   size_t stop_check_interval = 64;
 
   bool operator==(const RequestOptions&) const = default;
@@ -84,6 +87,15 @@ struct QueryRequest {
   std::string query_text;
   std::optional<QueryGraph> query_graph;
   RequestOptions options;
+  /// Relative time budget in milliseconds, stamped into an absolute engine
+  /// deadline when the session accepts the request (so queue wait counts).
+  /// 0 = no deadline — the pre-deadline wire behavior, and what decoders
+  /// assume when the field is absent. Negative values are rejected.
+  int64_t deadline_ms = 0;
+  /// Admission class; "normal" (the default, also assumed when absent on
+  /// the wire) is subject to the service's admission limits, "high"
+  /// bypasses them.
+  RequestPriority priority = RequestPriority::kNormal;
 
   bool operator==(const QueryRequest&) const = default;
 };
@@ -125,6 +137,11 @@ struct QueryResponse {
   QueryMode mode = QueryMode::kSgq;
   /// TBQ only: true when the time estimator stopped a search early.
   bool stopped_by_time = false;
+  /// Echo of the request's deadline/priority (0 / "normal" when the
+  /// request carried none), so wire clients can correlate responses with
+  /// the budget they asked for.
+  int64_t deadline_ms = 0;
+  RequestPriority priority = RequestPriority::kNormal;
   std::vector<AnswerDto> answers;  ///< descending score
   ResponseTimings timings;
   ResponseStats stats;

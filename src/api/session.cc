@@ -5,6 +5,7 @@
 #include "api/query_text.h"
 #include "kg/snapshot.h"
 #include "kg/triple_io.h"
+#include "util/cancel.h"
 #include "util/string_util.h"
 
 namespace kgsearch {
@@ -78,6 +79,8 @@ Status KgSession::RegisterDataset(const std::string& name,
   service_options.decomposition_cache_capacity =
       options_.decomposition_cache_capacity;
   service_options.matcher_cache_capacity = options_.matcher_cache_capacity;
+  service_options.max_in_flight = options_.max_in_flight;
+  service_options.max_queued = options_.max_queued;
   dataset->service = std::make_unique<QueryService>(
       dataset->graph.get(), dataset->space.get(), &dataset->library,
       service_options, clock_);
@@ -195,17 +198,36 @@ std::vector<DatasetInfo> KgSession::ListDatasets() const {
   return out;
 }
 
-Result<QueryResponse> KgSession::Query(const QueryRequest& request) {
+Result<QueryResponse> KgSession::Query(const QueryRequest& request,
+                                       const CancelToken* cancel) {
+  if (request.deadline_ms < 0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0");
+  }
+  return Execute(request, DeadlineFromNowMs(request.deadline_ms, clock_),
+                 cancel);
+}
+
+Result<QueryResponse> KgSession::Execute(const QueryRequest& request,
+                                         int64_t deadline_micros,
+                                         const CancelToken* cancel,
+                                         Dataset* dataset,
+                                         bool pre_admitted) {
   KG_RETURN_NOT_OK(CheckProtocolVersion(request.version));
-  Dataset* dataset = FindDataset(request.dataset);
+  if (dataset == nullptr) dataset = FindDataset(request.dataset);
   if (dataset == nullptr) {
     return Status::NotFound("unknown dataset: \"" + request.dataset + "\"");
   }
+  // Deliberately no deadline/cancel short-circuit here: the service's own
+  // entry check handles a request that spent its whole budget queued (or
+  // was revoked while waiting), so the per-dataset overload counters see
+  // every such outcome.
 
   StopWatch total(clock_);
   QueryResponse response;
   response.dataset = request.dataset;
   response.mode = request.mode;
+  response.deadline_ms = request.deadline_ms;
+  response.priority = request.priority;
 
   // Hot path: never copy a caller-supplied QueryGraph, just borrow it.
   QueryGraph parsed_storage;
@@ -230,16 +252,28 @@ Result<QueryResponse> KgSession::Query(const QueryRequest& request) {
   KG_RETURN_NOT_OK(query->Validate());
 
   if (request.mode == QueryMode::kSgq) {
+    EngineOptions engine_options = ToEngineOptions(request.options);
+    engine_options.deadline_micros = deadline_micros;
+    engine_options.cancel = cancel;
     Result<QueryResult> result =
-        dataset->service->Query(*query, ToEngineOptions(request.options));
+        pre_admitted
+            ? dataset->service->QueryAdmitted(*query, engine_options)
+            : dataset->service->Query(*query, engine_options,
+                                      EffectivePriority(request));
     KG_RETURN_NOT_OK(result.status());
     const QueryResult& r = result.ValueOrDie();
     FillAnswers(*dataset->graph, r.matches, &response);
     FillStats(r.subquery_stats, r.ta_stats, &response.stats);
     response.timings.engine_ms = r.elapsed_ms;
   } else {
-    Result<TimeBoundedResult> result = dataset->service->QueryTimeBounded(
-        *query, ToTimeBoundedOptions(request.options));
+    TimeBoundedOptions tbq_options = ToTimeBoundedOptions(request.options);
+    tbq_options.deadline_micros = deadline_micros;
+    tbq_options.cancel = cancel;
+    Result<TimeBoundedResult> result =
+        pre_admitted ? dataset->service->QueryTimeBoundedAdmitted(
+                           *query, tbq_options)
+                     : dataset->service->QueryTimeBounded(
+                           *query, tbq_options, EffectivePriority(request));
     KG_RETURN_NOT_OK(result.status());
     const TimeBoundedResult& r = result.ValueOrDie();
     FillAnswers(*dataset->graph, r.matches, &response);
@@ -251,19 +285,58 @@ Result<QueryResponse> KgSession::Query(const QueryRequest& request) {
   return response;
 }
 
-std::future<Result<QueryResponse>> KgSession::Submit(QueryRequest request) {
+std::future<Result<QueryResponse>> KgSession::Submit(
+    QueryRequest request, const CancelToken* cancel) {
+  if (request.deadline_ms < 0) {
+    std::promise<Result<QueryResponse>> invalid;
+    invalid.set_value(Status::InvalidArgument("deadline_ms must be >= 0"));
+    return invalid.get_future();
+  }
+  // Stamp the budget NOW: the clock runs while the task waits for a pool
+  // worker, so a submission flood cannot stretch anyone's deadline.
+  const int64_t deadline_micros =
+      DeadlineFromNowMs(request.deadline_ms, clock_);
+
+  // Admission is ALSO decided now, against the dataset's service (async
+  // limits), so the session-level queue only ever holds admitted work and
+  // overload answers in microseconds. The slot is held across the queue
+  // wait and released by the task (or the shutdown path). An unknown
+  // dataset skips the gate — Execute resolves it to kNotFound, and if the
+  // name is registered between submission and execution the service's
+  // synchronous gate still applies. Dataset pointers are stable for the
+  // session's lifetime, so the lookup is done once and carried into the
+  // task.
+  Dataset* dataset = FindDataset(request.dataset);
+  AdmissionController* gate = nullptr;
+  if (dataset != nullptr) {
+    gate = dataset->service->mutable_admission();
+    if (!gate->TryAdmit(/*async=*/true, EffectivePriority(request))) {
+      std::promise<Result<QueryResponse>> rejected;
+      rejected.set_value(gate->OverCapacityStatus(
+          /*async=*/true, "dataset \"" + request.dataset + "\""));
+      return rejected.get_future();
+    }
+  }
   return SubmitTracked<Result<QueryResponse>>(
       pool_.get(), &outstanding_, &queued_,
-      [this, request = std::move(request)]() { return Query(request); },
-      Result<QueryResponse>(Status::Internal("session is shutting down")));
+      [this, request = std::move(request), deadline_micros, cancel, dataset,
+       gate]() {
+        AdmissionSlot slot(gate);  // released even if execution throws
+        return Execute(request, deadline_micros, cancel, dataset,
+                       /*pre_admitted=*/gate != nullptr);
+      },
+      Result<QueryResponse>(Status::Internal("session is shutting down")),
+      /*on_reject=*/[gate] {
+        if (gate != nullptr) gate->Release();
+      });
 }
 
 std::vector<Result<QueryResponse>> KgSession::QueryBatch(
-    const std::vector<QueryRequest>& requests) {
+    const std::vector<QueryRequest>& requests, const CancelToken* cancel) {
   std::vector<std::future<Result<QueryResponse>>> futures;
   futures.reserve(requests.size());
   for (const QueryRequest& request : requests) {
-    futures.push_back(Submit(request));
+    futures.push_back(Submit(request, cancel));
   }
   std::vector<Result<QueryResponse>> out;
   out.reserve(requests.size());

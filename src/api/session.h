@@ -40,7 +40,8 @@
 
 namespace kgsearch {
 
-/// Session-wide knobs; per-dataset services inherit the cache capacities.
+/// Session-wide knobs; per-dataset services inherit the cache capacities
+/// and admission limits.
 struct KgSessionOptions {
   /// Worker threads in the shared pool; 0 = hardware concurrency (min 2).
   size_t num_threads = 0;
@@ -48,6 +49,18 @@ struct KgSessionOptions {
   size_t decomposition_cache_capacity = 512;
   /// Matcher candidate cache entries per dataset per kind; 0 disables.
   size_t matcher_cache_capacity = 4096;
+  /// Per-dataset admission limits (see service/admission.h): requests over
+  /// capacity fail fast with kResourceExhausted instead of queueing
+  /// without bound. 0 = admission control off (the default).
+  size_t max_in_flight = 0;
+  size_t max_queued = 0;
+  /// Whether request-supplied priority is honored. kHigh bypasses the
+  /// admission limits, so a session whose requests come from untrusted
+  /// wire clients (QueryJson) should set this to false — every request is
+  /// then treated as kNormal and the limits actually bind. True by
+  /// default for in-process callers, who are as trusted as the limits
+  /// they configured.
+  bool honor_request_priority = true;
 };
 
 /// How to load one dataset from disk.
@@ -111,16 +124,35 @@ class KgSession {
 
   // ----- query execution -----
 
-  /// Synchronous request execution (SGQ or TBQ per request.mode).
-  Result<QueryResponse> Query(const QueryRequest& request);
+  /// Synchronous request execution (SGQ or TBQ per request.mode). A
+  /// request.deadline_ms budget is stamped into an absolute engine
+  /// deadline HERE, at acceptance; expiry mid-query returns
+  /// kDeadlineExceeded. `cancel` (optional, non-owning, must outlive the
+  /// call) revokes the request cooperatively: kCancelled. Admission
+  /// overload returns kResourceExhausted. request.priority == kHigh
+  /// bypasses admission limits.
+  Result<QueryResponse> Query(const QueryRequest& request,
+                              const CancelToken* cancel = nullptr);
 
-  /// Asynchronous execution on the shared pool.
-  std::future<Result<QueryResponse>> Submit(QueryRequest request);
+  /// Asynchronous execution on the shared pool. The deadline budget is
+  /// stamped at submission, so time spent queued counts against it; a
+  /// request that waits out its whole budget resolves to
+  /// kDeadlineExceeded without running the engines. Admission against the
+  /// dataset's service is ALSO decided at submission (async limits:
+  /// max_in_flight + max_queued), so overload resolves the future with
+  /// kResourceExhausted immediately instead of after a queue wait — the
+  /// session-level queue holds only admitted work. `cancel` must outlive
+  /// the future's resolution.
+  std::future<Result<QueryResponse>> Submit(QueryRequest request,
+                                            const CancelToken* cancel =
+                                                nullptr);
 
   /// Executes a batch concurrently; results come back in request order
-  /// (each entry succeeds or fails independently).
+  /// (each entry succeeds or fails independently). One optional token
+  /// revokes the whole batch.
   std::vector<Result<QueryResponse>> QueryBatch(
-      const std::vector<QueryRequest>& requests);
+      const std::vector<QueryRequest>& requests,
+      const CancelToken* cancel = nullptr);
 
   /// The JSON wire entry point: decodes a request document, executes it,
   /// and encodes the response — or an {"error": ...} document for any
@@ -165,6 +197,31 @@ class KgSession {
 
   /// Stable pointer lookup under the registry lock.
   Dataset* FindDataset(const std::string& name) const;
+
+  /// The priority admission actually sees: the request's own unless the
+  /// session is configured to distrust it. Responses still echo what the
+  /// client sent.
+  RequestPriority EffectivePriority(const QueryRequest& request) const {
+    return options_.honor_request_priority ? request.priority
+                                           : RequestPriority::kNormal;
+  }
+
+  /// Request execution after the deadline budget has been stamped into an
+  /// absolute clock time (0 = none). Query stamps at call time, Submit at
+  /// submission time — both before any queueing or parsing. `dataset` is
+  /// the pre-resolved registry entry when the caller already looked it up
+  /// (pointers are stable for the session's lifetime), null to resolve
+  /// here. When `pre_admitted` is set the caller already holds an
+  /// admission slot on the dataset's service (Submit's path) and owes its
+  /// release; otherwise the service's synchronous gate applies.
+  /// Deadline/cancel outcomes are always surfaced (and counted) by the
+  /// service, never short-circuited here, so the per-dataset overload
+  /// counters stay truthful.
+  Result<QueryResponse> Execute(const QueryRequest& request,
+                                int64_t deadline_micros,
+                                const CancelToken* cancel,
+                                Dataset* dataset = nullptr,
+                                bool pre_admitted = false);
 
   const Clock* clock_;
   KgSessionOptions options_;

@@ -105,6 +105,11 @@ Result<std::vector<PathMatch>> AStarSearch(const KnowledgeGraph& graph,
   st = SearchStats{};
 
   const bool paper_mode = config.dedup == DedupMode::kPaperNodeVisited;
+  // Poll cadence for should_stop and interrupt; a configured 0 would mean
+  // "never poll" via a division by zero, so clamp once here for every
+  // caller.
+  const size_t check_interval =
+      config.stop_check_interval == 0 ? 1 : config.stop_check_interval;
 
   std::vector<SearchNode> arena;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueLess> queue;
@@ -190,6 +195,15 @@ Result<std::vector<PathMatch>> AStarSearch(const KnowledgeGraph& graph,
     ++st.popped;
     if (config.expansion_hook) config.expansion_hook();
 
+    // Cooperative interruption (deadline / cancellation): polled between
+    // expansions at the same cadence as the anytime stop estimator. The
+    // search aborts with the interrupt's status; collected matches are
+    // dropped — an interrupted query has no answer, partial or otherwise.
+    if (config.interrupt && st.popped % check_interval == 0) {
+      Status interrupted = config.interrupt();
+      if (!interrupted.ok()) return interrupted;
+    }
+
     const SearchNode node = arena[static_cast<size_t>(entry.index)];
     if (entry.is_goal) {
       // Theorem 2: a popped target match is the best remaining match.
@@ -227,7 +241,7 @@ Result<std::vector<PathMatch>> AStarSearch(const KnowledgeGraph& graph,
       }
     }
 
-    if (config.anytime && st.popped % config.stop_check_interval == 0 &&
+    if (config.anytime && st.popped % check_interval == 0 &&
         config.should_stop(anytime_matches.size())) {
       st.stopped_early = true;
       break;

@@ -56,6 +56,11 @@ struct AStarConfig {
   size_t max_matches_per_target = 1;
   /// Safety valve on pops; 0 = unlimited.
   uint64_t max_expansions = 0;
+  /// Cooperative interruption, polled every stop_check_interval pops in
+  /// BOTH modes (between node expansions, never inside one). A non-OK
+  /// status (kCancelled, kDeadlineExceeded) aborts the search and is
+  /// returned from AStarSearch verbatim; partial matches are discarded.
+  std::function<Status()> interrupt;
 
   // --- anytime mode (Algorithm 2) ---
   /// Collect matches when generated (not when popped) and run until
@@ -66,6 +71,7 @@ struct AStarConfig {
   /// Polled every stop_check_interval pops in anytime mode, with the number
   /// of matches collected so far (|M̂i| in Algorithm 3).
   std::function<bool(size_t matches_so_far)> should_stop;
+  /// Pops between should_stop / interrupt polls (both modes for interrupt).
   size_t stop_check_interval = 64;
   /// Test hook invoked once per pop (e.g. to advance a ManualClock).
   std::function<void()> expansion_hook;

@@ -75,6 +75,14 @@ Result<QueryResult> SgqEngine::QueryDecomposed(
     const QueryGraph& query, const Decomposition& decomposition,
     const EngineOptions& options) const {
   if (options.k == 0) return Status::InvalidArgument("k must be >= 1");
+  // One interruption policy for the whole query: checked here (fail fast
+  // when the request arrives already expired or revoked), polled inside
+  // every sub-query search, and re-checked between retry rounds.
+  auto interrupt = [cancel = options.cancel,
+                    deadline = options.deadline_micros, clock = clock_]() {
+    return CheckInterrupt(cancel, deadline, clock);
+  };
+  KG_RETURN_NOT_OK(interrupt());
   StopWatch watch(clock_);
 
   QueryResult result;
@@ -110,6 +118,10 @@ Result<QueryResult> SgqEngine::QueryDecomposed(
         config.max_expansions = options.max_expansions;
         config.dedup = options.dedup;
         config.max_matches_per_target = options.matches_per_target;
+        if (options.cancel != nullptr || options.deadline_micros > 0) {
+          config.interrupt = interrupt;
+          config.stop_check_interval = options.stop_check_interval;
+        }
         Result<std::vector<PathMatch>> r = AStarSearch(
             *graph_, *space_, resolved[i], config, &result.subquery_stats[i]);
         if (r.ok()) {
@@ -138,6 +150,7 @@ Result<QueryResult> SgqEngine::QueryDecomposed(
       if (match_sets[i].size() >= budget) any_search_truncated = true;
     }
     if (result.matches.size() >= options.k || !any_search_truncated) break;
+    KG_RETURN_NOT_OK(interrupt());
     budget *= 2;  // retry with a larger per-sub-query match budget
   }
 

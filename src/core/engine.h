@@ -13,6 +13,7 @@
 #include "core/ta_assembly.h"
 #include "embedding/predicate_space.h"
 #include "match/node_matcher.h"
+#include "util/cancel.h"
 #include "util/clock.h"
 
 namespace kgsearch {
@@ -46,6 +47,19 @@ struct EngineOptions {
   /// Sub-query matches emitted per distinct target node (> 1 needs
   /// kExactState); raise when answers are read off a non-pivot query node.
   size_t matches_per_target = 1;
+  /// Absolute per-request deadline on the engine's clock (the scale of
+  /// Clock::NowMicros); 0 = none. Callers with a relative budget convert
+  /// via DeadlineFromNowMs at admission time, so queue wait counts. An
+  /// expired query aborts between node expansions with kDeadlineExceeded.
+  int64_t deadline_micros = 0;
+  /// Pops between deadline/cancellation polls inside each A* search (the
+  /// abort latency knob; only consulted when a deadline or token is set).
+  size_t stop_check_interval = 64;
+  /// Cooperative cancellation; non-owning, may be null, must outlive the
+  /// query. Cancel() makes the query abort between node expansions with
+  /// kCancelled. A deadline/cancel that never fires leaves the search
+  /// bit-identical to an unconstrained run.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Everything produced by one query execution.

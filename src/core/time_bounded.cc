@@ -62,6 +62,15 @@ Result<TimeBoundedResult> TbqEngine::QueryDecomposed(
   if (options.time_bound_micros <= 0) {
     return Status::InvalidArgument("time bound must be positive");
   }
+  // Hard per-request wall (deadline / cancellation), distinct from the
+  // soft anytime budget below: checked up front and polled inside every
+  // search; firing aborts the query with a Status instead of assembling a
+  // partial answer.
+  auto interrupt = [cancel = options.cancel,
+                    deadline = options.deadline_micros, clock = clock_]() {
+    return CheckInterrupt(cancel, deadline, clock);
+  };
+  KG_RETURN_NOT_OK(interrupt());
   StopWatch watch(clock_);
 
   double t_micros = options.per_match_assembly_micros;
@@ -128,6 +137,9 @@ Result<TimeBoundedResult> TbqEngine::QueryDecomposed(
       config.anytime = true;
       config.anytime_match_cap = options.match_cap;
       config.stop_check_interval = options.stop_check_interval;
+      if (options.cancel != nullptr || options.deadline_micros > 0) {
+        config.interrupt = interrupt;
+      }
       config.should_stop = [&, i](size_t matches_so_far) {
         return should_stop(i, matches_so_far);
       };

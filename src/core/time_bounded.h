@@ -45,6 +45,15 @@ struct TimeBoundedOptions {
   uint64_t max_expansions = 4'000'000;
   /// Partial-path de-duplication discipline (Algorithm 1 vs. exact states).
   DedupMode dedup = DedupMode::kPaperNodeVisited;
+  /// Absolute per-request deadline (Clock::NowMicros scale); 0 = none.
+  /// Unlike time_bound_micros — the paper's soft budget, which stops
+  /// searches gracefully and assembles a partial answer — the deadline is
+  /// a hard wall: expiry aborts between node expansions with
+  /// kDeadlineExceeded and no result.
+  int64_t deadline_micros = 0;
+  /// Cooperative cancellation; non-owning, may be null. See
+  /// EngineOptions::cancel.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of a time-bounded query.

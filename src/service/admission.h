@@ -1,0 +1,163 @@
+// Admission control for the serving layer: bounded acceptance of work with
+// fail-fast backpressure instead of unbounded queueing.
+//
+// The model is one outstanding-request gauge per service covering every
+// admitted request from admission until completion (executing or waiting in
+// the shared executor's queue), with two capacity knobs:
+//
+//   max_in_flight  — capacity for requests that execute immediately
+//                    (synchronous calls run on the caller's thread);
+//   max_queued     — additional capacity reserved for asynchronous
+//                    submissions, which tolerate waiting behind a busy pool.
+//
+// A synchronous request is admitted iff outstanding < max_in_flight; an
+// asynchronous one iff outstanding < max_in_flight + max_queued. Anything
+// over the limit is rejected immediately with kResourceExhausted — the
+// caller learns about overload in microseconds rather than by timing out at
+// the back of a queue. High-priority requests (RequestPriority::kHigh)
+// bypass both limits (they are still counted, so they shrink the capacity
+// visible to normal traffic — the intended starvation direction under
+// overload). max_in_flight == 0 disables admission control entirely
+// (backward-compatible default).
+//
+// Note that execution parallelism itself is bounded by the executor's
+// worker count; admission bounds how much work the service *accepts*, which
+// is what keeps tail latency flat when demand exceeds capacity (see
+// bench_admission).
+#ifndef KGSEARCH_SERVICE_ADMISSION_H_
+#define KGSEARCH_SERVICE_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+/// Scheduling class of one request. Wire-encoded by api/protocol, honored
+/// by QueryService admission.
+enum class RequestPriority {
+  kNormal = 0,  ///< subject to admission limits (the default)
+  kHigh = 1,    ///< bypasses admission limits (health checks, operators)
+};
+
+inline const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kNormal: return "normal";
+    case RequestPriority::kHigh: return "high";
+  }
+  return "?";
+}
+
+inline Result<RequestPriority> ParseRequestPriorityName(
+    std::string_view name) {
+  if (name == "normal") return RequestPriority::kNormal;
+  if (name == "high") return RequestPriority::kHigh;
+  return Status::InvalidArgument("unknown priority: " + std::string(name));
+}
+
+/// Lock-free outstanding-request gate. TryAdmit/Release may be called
+/// concurrently from any thread; the outstanding gauge can never exceed
+/// max_in_flight + max_queued through normal-priority admissions.
+class AdmissionController {
+ public:
+  /// Limits of 0 for max_in_flight disable the gate entirely.
+  AdmissionController(size_t max_in_flight, size_t max_queued)
+      : max_in_flight_(max_in_flight), max_queued_(max_queued) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// True when admission control is active.
+  bool enabled() const { return max_in_flight_ > 0; }
+
+  /// Attempts to admit one request; on success the caller owes exactly one
+  /// Release() when the request finishes (however it finishes). On failure
+  /// the rejection counter is bumped and nothing is owed.
+  bool TryAdmit(bool async, RequestPriority priority) {
+    if (!enabled() || priority == RequestPriority::kHigh) {
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    const size_t limit =
+        async ? max_in_flight_ + max_queued_ : max_in_flight_;
+    size_t current = outstanding_.load(std::memory_order_relaxed);
+    while (current < limit) {
+      if (outstanding_.compare_exchange_weak(current, current + 1,
+                                             std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  void Release() { outstanding_.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// The kResourceExhausted status a failed TryAdmit is reported as;
+  /// `subject` names what is overloaded (e.g. "service", a dataset).
+  Status OverCapacityStatus(bool async, std::string_view subject) const {
+    if (async) {
+      return Status::ResourceExhausted(StrFormat(
+          "%.*s over capacity: %zu requests outstanding (max_in_flight "
+          "%zu + max_queued %zu)",
+          static_cast<int>(subject.size()), subject.data(), outstanding(),
+          max_in_flight_, max_queued_));
+    }
+    return Status::ResourceExhausted(StrFormat(
+        "%.*s over capacity: %zu requests outstanding (max_in_flight %zu)",
+        static_cast<int>(subject.size()), subject.data(), outstanding(),
+        max_in_flight_));
+  }
+
+  size_t outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  size_t max_in_flight() const { return max_in_flight_; }
+  size_t max_queued() const { return max_queued_; }
+
+ private:
+  const size_t max_in_flight_;
+  const size_t max_queued_;
+  std::atomic<size_t> outstanding_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+/// RAII custody of one admitted slot: releases on destruction, so the slot
+/// cannot leak even when execution throws. Null-safe and movable; the gate
+/// must outlive the slot.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  /// Takes over a slot the caller already acquired via TryAdmit.
+  explicit AdmissionSlot(AdmissionController* gate) : gate_(gate) {}
+  AdmissionSlot(AdmissionSlot&& other) noexcept
+      : gate_(std::exchange(other.gate_, nullptr)) {}
+  AdmissionSlot& operator=(AdmissionSlot&& other) noexcept {
+    if (this != &other) {
+      if (gate_ != nullptr) gate_->Release();
+      gate_ = std::exchange(other.gate_, nullptr);
+    }
+    return *this;
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() {
+    if (gate_ != nullptr) gate_->Release();
+  }
+
+ private:
+  AdmissionController* gate_ = nullptr;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_SERVICE_ADMISSION_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/cancel.h"
 #include "util/string_util.h"
 
 namespace kgsearch {
@@ -66,6 +67,7 @@ QueryService::QueryService(const KnowledgeGraph* graph,
       sgq_(graph, space, library, clock),
       tbq_(graph, space, library, clock),
       decomposition_cache_(options.decomposition_cache_capacity),
+      admission_(options.max_in_flight, options.max_queued),
       start_micros_(clock->NowMicros()),
       external_pool_(options.executor),
       owned_pool_(options.executor != nullptr
@@ -102,10 +104,28 @@ Result<Decomposition> QueryService::CachedDecomposition(
   return computed;
 }
 
-Result<QueryResult> QueryService::Query(const QueryGraph& query,
-                                        EngineOptions options) {
+void QueryService::ClassifyOutcome(const Status& status) {
+  if (status.code() == StatusCode::kCancelled) {
+    queries_cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    queries_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Result<QueryResult> QueryService::ExecuteSgq(const QueryGraph& query,
+                                             EngineOptions options) {
   options.executor = executor();
   FlightTracker tracker(this, &sgq_queries_);
+  // Fail before paying for decomposition when the request arrived already
+  // expired or revoked (an async task may have waited out its own budget
+  // in the queue). The engine re-polls the same policy between expansions.
+  Status interrupted =
+      CheckInterrupt(options.cancel, options.deadline_micros, clock_);
+  if (!interrupted.ok()) {
+    tracker.Finish(false);
+    ClassifyOutcome(interrupted);
+    return interrupted;
+  }
   Result<Decomposition> decomposition = CachedDecomposition(
       query, options.pivot_strategy, options.n_hat, options.seed);
   if (!decomposition.ok()) {
@@ -115,28 +135,67 @@ Result<QueryResult> QueryService::Query(const QueryGraph& query,
   Result<QueryResult> result =
       sgq_.QueryDecomposed(query, decomposition.ValueOrDie(), options);
   tracker.Finish(result.ok());
+  if (!result.ok()) ClassifyOutcome(result.status());
   return result;
 }
 
-template <typename ResultT, typename RunFn>
-std::future<ResultT> QueryService::SubmitImpl(RunFn run) {
-  return SubmitTracked<ResultT>(
-      executor(), &outstanding_, &queued_, std::move(run),
-      ResultT(Status::Internal("query service is shutting down")));
+Result<QueryResult> QueryService::QueryAdmitted(const QueryGraph& query,
+                                                EngineOptions options) {
+  return ExecuteSgq(query, std::move(options));
 }
 
-std::future<Result<QueryResult>> QueryService::Submit(QueryGraph query,
-                                                      EngineOptions options) {
+Result<QueryResult> QueryService::Query(const QueryGraph& query,
+                                        EngineOptions options,
+                                        RequestPriority priority) {
+  if (!admission_.TryAdmit(/*async=*/false, priority)) {
+    return admission_.OverCapacityStatus(/*async=*/false, "service");
+  }
+  AdmissionSlot slot(&admission_);  // released even if execution throws
+  return ExecuteSgq(query, std::move(options));
+}
+
+template <typename ResultT, typename RunFn>
+std::future<ResultT> QueryService::SubmitImpl(RunFn run,
+                                              RequestPriority priority) {
+  // Admission is decided at submission so overload is reported in
+  // microseconds; the slot is held until the task finishes (it covers the
+  // queue wait) and returned on the shutdown-rejection path too.
+  if (!admission_.TryAdmit(/*async=*/true, priority)) {
+    std::promise<ResultT> rejected;
+    rejected.set_value(
+        ResultT(admission_.OverCapacityStatus(/*async=*/true, "service")));
+    return rejected.get_future();
+  }
+  return SubmitTracked<ResultT>(
+      executor(), &outstanding_, &queued_,
+      [this, run = std::move(run)]() mutable {
+        AdmissionSlot slot(&admission_);  // released even if run() throws
+        return run();
+      },
+      ResultT(Status::Internal("query service is shutting down")),
+      /*on_reject=*/[this] { admission_.Release(); });
+}
+
+std::future<Result<QueryResult>> QueryService::Submit(
+    QueryGraph query, EngineOptions options, RequestPriority priority) {
   return SubmitImpl<Result<QueryResult>>(
       [this, query = std::move(query), options]() {
-        return Query(query, options);
-      });
+        return ExecuteSgq(query, options);
+      },
+      priority);
 }
 
-Result<TimeBoundedResult> QueryService::QueryTimeBounded(
+Result<TimeBoundedResult> QueryService::ExecuteTbq(
     const QueryGraph& query, TimeBoundedOptions options) {
   options.executor = executor();
   FlightTracker tracker(this, &tbq_queries_);
+  Status interrupted =
+      CheckInterrupt(options.cancel, options.deadline_micros, clock_);
+  if (!interrupted.ok()) {
+    tracker.Finish(false);
+    ClassifyOutcome(interrupted);
+    return interrupted;
+  }
   Result<Decomposition> decomposition = CachedDecomposition(
       query, options.pivot_strategy, options.n_hat, options.seed);
   if (!decomposition.ok()) {
@@ -146,15 +205,32 @@ Result<TimeBoundedResult> QueryService::QueryTimeBounded(
   Result<TimeBoundedResult> result =
       tbq_.QueryDecomposed(query, decomposition.ValueOrDie(), options);
   tracker.Finish(result.ok());
+  if (!result.ok()) ClassifyOutcome(result.status());
   return result;
 }
 
+Result<TimeBoundedResult> QueryService::QueryTimeBoundedAdmitted(
+    const QueryGraph& query, TimeBoundedOptions options) {
+  return ExecuteTbq(query, std::move(options));
+}
+
+Result<TimeBoundedResult> QueryService::QueryTimeBounded(
+    const QueryGraph& query, TimeBoundedOptions options,
+    RequestPriority priority) {
+  if (!admission_.TryAdmit(/*async=*/false, priority)) {
+    return admission_.OverCapacityStatus(/*async=*/false, "service");
+  }
+  AdmissionSlot slot(&admission_);  // released even if execution throws
+  return ExecuteTbq(query, std::move(options));
+}
+
 std::future<Result<TimeBoundedResult>> QueryService::SubmitTimeBounded(
-    QueryGraph query, TimeBoundedOptions options) {
+    QueryGraph query, TimeBoundedOptions options, RequestPriority priority) {
   return SubmitImpl<Result<TimeBoundedResult>>(
       [this, query = std::move(query), options]() {
-        return QueryTimeBounded(query, options);
-      });
+        return ExecuteTbq(query, options);
+      },
+      priority);
 }
 
 ServiceStatsSnapshot QueryService::Stats() const {
@@ -163,6 +239,10 @@ ServiceStatsSnapshot QueryService::Stats() const {
   s.queries_failed = queries_failed_.load(std::memory_order_relaxed);
   s.sgq_queries = sgq_queries_.load(std::memory_order_relaxed);
   s.tbq_queries = tbq_queries_.load(std::memory_order_relaxed);
+  s.queries_rejected = admission_.rejected();
+  s.queries_cancelled = queries_cancelled_.load(std::memory_order_relaxed);
+  s.queries_deadline_exceeded =
+      queries_deadline_exceeded_.load(std::memory_order_relaxed);
   s.decomposition_cache_hits = decomposition_cache_.hits();
   s.decomposition_cache_misses = decomposition_cache_.misses();
   if (matcher_cache_) {
@@ -171,6 +251,8 @@ ServiceStatsSnapshot QueryService::Stats() const {
   }
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
   s.queue_depth = queued_.load(std::memory_order_relaxed);
+  s.executor_queue_depth = executor()->queue_depth();
+  s.admitted_outstanding = admission_.outstanding();
   s.uptime_seconds =
       static_cast<double>(clock_->NowMicros() - start_micros_) / 1e6;
   s.qps = s.uptime_seconds > 0.0

@@ -12,11 +12,18 @@
 //  - a shared LRU cache of node-matcher candidate lists, installed into
 //    both engines' matchers;
 //  - per-service counters: QPS, cache hit rates, queue depth, in-flight
-//    gauge, and a p50/p95/max latency histogram.
+//    gauge, and a p50/p95/max latency histogram;
+//  - overload safety: a bounded admission gate (service/admission.h) that
+//    fails fast with kResourceExhausted instead of queueing without limit,
+//    plus per-request deadlines and cooperative cancellation
+//    (EngineOptions::deadline_micros / ::cancel) that stop a running query
+//    between node expansions with kDeadlineExceeded / kCancelled.
 //
 // Thread-safety: all public methods may be called concurrently from any
 // thread. Results are bit-identical to direct serial SgqEngine execution
-// for the same query and options (the differential tests assert this).
+// for the same query and options (the differential tests assert this);
+// admission control and never-firing deadlines/tokens do not change any
+// accepted query's answer.
 #ifndef KGSEARCH_SERVICE_QUERY_SERVICE_H_
 #define KGSEARCH_SERVICE_QUERY_SERVICE_H_
 
@@ -27,6 +34,7 @@
 
 #include "core/engine.h"
 #include "core/time_bounded.h"
+#include "service/admission.h"
 #include "service/service_stats.h"
 #include "util/lru_cache.h"
 #include "util/thread_pool.h"
@@ -50,6 +58,14 @@ struct QueryServiceOptions {
   /// Entries per kind (name/type) in the shared matcher candidate cache;
   /// 0 disables it.
   size_t matcher_cache_capacity = 4096;
+  /// Admission control (see service/admission.h): capacity for requests
+  /// admitted to execute immediately. 0 = admission control off (the
+  /// backward-compatible default, matching pre-admission behavior).
+  size_t max_in_flight = 0;
+  /// Additional admission capacity reserved for async submissions waiting
+  /// on the executor. Over-limit requests fail fast with
+  /// kResourceExhausted. Meaningless while max_in_flight == 0.
+  size_t max_queued = 0;
 };
 
 /// A stable cache key for (query graph, decomposition-relevant options).
@@ -74,26 +90,52 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Synchronous SGQ query on the shared executor. `options.executor` and
-  /// `options.threads` are overridden by the service's pool.
-  Result<QueryResult> Query(const QueryGraph& query, EngineOptions options);
+  /// `options.threads` are overridden by the service's pool. With
+  /// admission control on, over-limit requests return kResourceExhausted
+  /// without executing; an expired `options.deadline_micros` or cancelled
+  /// `options.cancel` returns kDeadlineExceeded / kCancelled.
+  Result<QueryResult> Query(const QueryGraph& query, EngineOptions options,
+                            RequestPriority priority =
+                                RequestPriority::kNormal);
 
   /// Asynchronous SGQ query: enqueues on the shared pool and returns a
-  /// future. Any number of submissions may be in flight at once.
+  /// future. Admission is decided HERE (fail fast), not when the task
+  /// starts; an absolute deadline therefore counts queue wait.
   std::future<Result<QueryResult>> Submit(QueryGraph query,
-                                          EngineOptions options);
+                                          EngineOptions options,
+                                          RequestPriority priority =
+                                              RequestPriority::kNormal);
 
   /// Synchronous TBQ query on the shared executor.
   Result<TimeBoundedResult> QueryTimeBounded(const QueryGraph& query,
-                                             TimeBoundedOptions options);
+                                             TimeBoundedOptions options,
+                                             RequestPriority priority =
+                                                 RequestPriority::kNormal);
 
   /// Asynchronous TBQ query.
   std::future<Result<TimeBoundedResult>> SubmitTimeBounded(
-      QueryGraph query, TimeBoundedOptions options);
+      QueryGraph query, TimeBoundedOptions options,
+      RequestPriority priority = RequestPriority::kNormal);
+
+  /// Execution for a caller that already holds a slot on
+  /// mutable_admission() (the KgSession facade admits async requests at
+  /// submission time so its session-level queue stays bounded, then runs
+  /// them here without a second gate). The caller owes exactly one
+  /// Release() — use AdmissionSlot. Deadline/cancel handling and all
+  /// counters behave exactly as in Query/QueryTimeBounded.
+  Result<QueryResult> QueryAdmitted(const QueryGraph& query,
+                                    EngineOptions options);
+  Result<TimeBoundedResult> QueryTimeBoundedAdmitted(
+      const QueryGraph& query, TimeBoundedOptions options);
 
   /// Point-in-time counter snapshot.
   ServiceStatsSnapshot Stats() const;
 
   size_t num_threads() const { return executor()->num_threads(); }
+  /// Admission-gate introspection (limits + gauges), for tests and demos.
+  const AdmissionController& admission() const { return admission_; }
+  /// The gate itself, for callers that admit ahead of QueryAdmitted.
+  AdmissionController* mutable_admission() { return &admission_; }
   /// The executor queries run on (owned or externally shared).
   ThreadPool* executor() const {
     return external_pool_ != nullptr ? external_pool_ : owned_pool_.get();
@@ -106,11 +148,23 @@ class QueryService {
   /// success/failure counters around one query execution.
   class FlightTracker;
 
-  /// Shared machinery behind Submit/SubmitTimeBounded: enqueue `run` on
-  /// the pool, tracking queue depth, resolving the promise with an error
-  /// when the pool is shutting down.
+  /// Shared machinery behind Submit/SubmitTimeBounded: admission at
+  /// submission time, enqueue `run` on the pool tracking queue depth,
+  /// resolve the promise with an error when the pool is shutting down.
+  /// `run` must be the post-admission execution (ExecuteSgq/ExecuteTbq).
   template <typename ResultT, typename RunFn>
-  std::future<ResultT> SubmitImpl(RunFn run);
+  std::future<ResultT> SubmitImpl(RunFn run, RequestPriority priority);
+
+  /// Execution after admission: deadline fast path, decomposition cache,
+  /// engine call, outcome classification. Both sync entry points and the
+  /// async tasks land here; the admission slot is released by the caller.
+  Result<QueryResult> ExecuteSgq(const QueryGraph& query,
+                                 EngineOptions options);
+  Result<TimeBoundedResult> ExecuteTbq(const QueryGraph& query,
+                                       TimeBoundedOptions options);
+
+  /// Bumps the cancelled/deadline-exceeded counters for a finished query.
+  void ClassifyOutcome(const Status& status);
 
   /// The decomposition plan, via the LRU cache (both SGQ and TBQ traffic).
   Result<Decomposition> CachedDecomposition(const QueryGraph& query,
@@ -123,10 +177,13 @@ class QueryService {
   std::shared_ptr<MatcherCandidateCache> matcher_cache_;  ///< may be null
   LruCache<std::string, Decomposition> decomposition_cache_;
 
+  AdmissionController admission_;
   std::atomic<uint64_t> queries_total_{0};
   std::atomic<uint64_t> queries_failed_{0};
   std::atomic<uint64_t> sgq_queries_{0};
   std::atomic<uint64_t> tbq_queries_{0};
+  std::atomic<uint64_t> queries_cancelled_{0};
+  std::atomic<uint64_t> queries_deadline_exceeded_{0};
   std::atomic<size_t> in_flight_{0};
   std::atomic<size_t> queued_{0};
   LatencyHistogram latency_;

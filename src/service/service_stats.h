@@ -79,13 +79,31 @@ struct ServiceStatsSnapshot {
   uint64_t sgq_queries = 0;
   uint64_t tbq_queries = 0;
 
+  /// Requests turned away by admission control (kResourceExhausted). They
+  /// never executed, so they are NOT part of queries_total/queries_failed.
+  uint64_t queries_rejected = 0;
+  /// Completed with kCancelled (also counted in queries_failed).
+  uint64_t queries_cancelled = 0;
+  /// Completed with kDeadlineExceeded (also counted in queries_failed).
+  uint64_t queries_deadline_exceeded = 0;
+
   uint64_t decomposition_cache_hits = 0;
   uint64_t decomposition_cache_misses = 0;
   uint64_t matcher_cache_hits = 0;
   uint64_t matcher_cache_misses = 0;
 
   size_t in_flight = 0;    ///< queries currently executing
-  size_t queue_depth = 0;  ///< submitted async queries not yet started
+  /// THIS service's async submissions not yet started. Always per-service,
+  /// even when many services share one executor (each service counts its
+  /// own submissions; see the queue-depth test in query_service_test.cc).
+  size_t queue_depth = 0;
+  /// Tasks waiting in the executor the service runs on. With an external
+  /// shared pool this is a pool-wide gauge (other services' queries and
+  /// sub-query batches included) — a load signal, not a per-service count.
+  size_t executor_queue_depth = 0;
+  /// Admitted requests not yet finished (executing or queued); bounded by
+  /// max_in_flight + max_queued when admission control is on.
+  size_t admitted_outstanding = 0;
 
   double uptime_seconds = 0.0;
   double qps = 0.0;  ///< queries_total / uptime

@@ -25,6 +25,9 @@ enum class StatusCode {
   kInternal,
   kTimedOut,
   kUnimplemented,
+  kCancelled,          ///< caller revoked the request (CancelToken)
+  kDeadlineExceeded,   ///< per-request deadline expired before completion
+  kResourceExhausted,  ///< admission control rejected the request (overload)
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -40,6 +43,9 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kTimedOut: return "TimedOut";
     case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -82,6 +88,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

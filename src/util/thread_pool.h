@@ -93,11 +93,14 @@ size_t DefaultPoolThreads(size_t requested);
 /// `outstanding` before tearing anything down can never race the task,
 /// even when `pool` outlives the owner. A throwing `run` reaches the
 /// client through the future; when the pool is shutting down the future
-/// resolves to `rejected` instead.
+/// resolves to `rejected` instead, after invoking `on_reject` (owners use
+/// it to return admission slots or other resources reserved at submission
+/// time that `run` would normally release).
 template <typename ResultT, typename RunFn>
 std::future<ResultT> SubmitTracked(ThreadPool* pool, WaitGroup* outstanding,
                                    std::atomic<size_t>* queued, RunFn run,
-                                   ResultT rejected) {
+                                   ResultT rejected,
+                                   std::function<void()> on_reject = {}) {
   auto promise = std::make_shared<std::promise<ResultT>>();
   std::future<ResultT> fut = promise->get_future();
   queued->fetch_add(1, std::memory_order_relaxed);
@@ -117,6 +120,7 @@ std::future<ResultT> SubmitTracked(ThreadPool* pool, WaitGroup* outstanding,
   if (!accepted) {
     queued->fetch_sub(1, std::memory_order_relaxed);
     outstanding->Done();
+    if (on_reject) on_reject();
     promise->set_value(std::move(rejected));
   }
   return fut;

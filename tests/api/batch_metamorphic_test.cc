@@ -1,0 +1,151 @@
+// Metamorphic batch properties of the facade: reordering a QueryBatch and
+// splitting it into sub-batches are answer-preserving transformations.
+// Each request is independent and deterministic (TBQ requests use a
+// generous bound that never stops a search), so the per-query responses —
+// and their JSON wire documents, once environmental timings are zeroed —
+// must be identical under both transformations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "gen/car_domain.h"
+
+namespace kgsearch {
+namespace {
+
+class BatchMetamorphicTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    session_ = new KgSession();
+    auto dataset = MakeCarDomainDataset(150, 117);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    GeneratedDataset& ds = *dataset.ValueOrDie();
+    ASSERT_TRUE(session_
+                    ->RegisterDataset("car", std::move(ds.graph),
+                                      std::move(ds.space),
+                                      std::move(ds.library))
+                    .ok());
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+  }
+  static KgSession* session_;
+};
+
+KgSession* BatchMetamorphicTest::session_ = nullptr;
+
+/// A mixed batch: all four Q117 variants as graphs at two ks, one text
+/// query, and a generously-bounded (hence deterministic) TBQ request.
+std::vector<QueryRequest> MakeBatch() {
+  std::vector<QueryRequest> batch;
+  for (int variant = 1; variant <= 4; ++variant) {
+    for (size_t k : {5u, 15u}) {
+      QueryRequest request;
+      request.dataset = "car";
+      request.query_graph = MakeQ117Variant(variant);
+      request.options.k = k;
+      batch.push_back(std::move(request));
+    }
+  }
+  QueryRequest text;
+  text.dataset = "car";
+  text.query_text = "?Automobile assembly Germany";
+  text.options.k = 10;
+  batch.push_back(std::move(text));
+
+  QueryRequest tbq;
+  tbq.dataset = "car";
+  tbq.mode = QueryMode::kTbq;
+  tbq.query_graph = MakeQ117Variant(3);
+  tbq.options.k = 10;
+  tbq.options.time_bound_micros = 1'000'000'000;  // never binds
+  tbq.options.per_match_assembly_micros = 0.5;
+  batch.push_back(std::move(tbq));
+  return batch;
+}
+
+/// Wire document with environmental fields (wall-clock timings) zeroed;
+/// everything else — answers, scores, stats, flags — must be bit-equal.
+std::string NormalizedJson(const Result<QueryResponse>& result) {
+  if (!result.ok()) return "error:" + result.status().ToString();
+  QueryResponse response = result.ValueOrDie();
+  response.timings = ResponseTimings{};
+  return EncodeQueryResponseJson(response);
+}
+
+std::vector<std::string> NormalizedJsonAll(
+    const std::vector<Result<QueryResponse>>& results) {
+  std::vector<std::string> out;
+  out.reserve(results.size());
+  for (const auto& r : results) out.push_back(NormalizedJson(r));
+  return out;
+}
+
+TEST_F(BatchMetamorphicTest, PermutingABatchPermutesNothingElse) {
+  const std::vector<QueryRequest> batch = MakeBatch();
+  const std::vector<std::string> baseline =
+      NormalizedJsonAll(session_->QueryBatch(batch));
+
+  // A fixed non-trivial permutation (reversal) and a rotated one.
+  std::vector<size_t> reversal(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    reversal[i] = batch.size() - 1 - i;
+  }
+  std::vector<size_t> rotation(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    rotation[i] = (i + 3) % batch.size();
+  }
+  for (const std::vector<size_t>& perm : {reversal, rotation}) {
+    std::vector<QueryRequest> permuted;
+    permuted.reserve(batch.size());
+    for (size_t i : perm) permuted.push_back(batch[i]);
+    const std::vector<std::string> shuffled =
+        NormalizedJsonAll(session_->QueryBatch(permuted));
+    ASSERT_EQ(shuffled.size(), baseline.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      EXPECT_EQ(shuffled[i], baseline[perm[i]])
+          << "response " << i << " after permutation";
+    }
+  }
+}
+
+TEST_F(BatchMetamorphicTest, SplittingABatchChangesNothing) {
+  const std::vector<QueryRequest> batch = MakeBatch();
+  const std::vector<std::string> baseline =
+      NormalizedJsonAll(session_->QueryBatch(batch));
+
+  // Split points chosen to produce uneven sub-batches (1 | rest, and an
+  // approximately even 3-way split).
+  for (size_t split_ways : {2u, 3u}) {
+    std::vector<std::string> stitched;
+    const size_t chunk =
+        (batch.size() + split_ways - 1) / split_ways;
+    for (size_t begin = 0; begin < batch.size(); begin += chunk) {
+      const size_t end = std::min(begin + chunk, batch.size());
+      std::vector<QueryRequest> sub(batch.begin() + static_cast<long>(begin),
+                                    batch.begin() + static_cast<long>(end));
+      for (std::string& doc : NormalizedJsonAll(session_->QueryBatch(sub))) {
+        stitched.push_back(std::move(doc));
+      }
+    }
+    EXPECT_EQ(stitched, baseline) << split_ways << "-way split";
+  }
+}
+
+TEST_F(BatchMetamorphicTest, SingletonBatchesEqualSyncExecution) {
+  const std::vector<QueryRequest> batch = MakeBatch();
+  for (const QueryRequest& request : batch) {
+    const std::string sync = NormalizedJson(session_->Query(request));
+    const std::vector<std::string> single =
+        NormalizedJsonAll(session_->QueryBatch({request}));
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(single[0], sync);
+  }
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -34,6 +34,8 @@ QueryRequest MakeFullRequest() {
   request.options.per_match_assembly_micros = 2.5;
   request.options.match_cap = 128;
   request.options.stop_check_interval = 32;
+  request.deadline_ms = 750;
+  request.priority = RequestPriority::kHigh;
   return request;
 }
 
@@ -50,6 +52,8 @@ QueryResponse MakeFullResponse() {
   response.stats.generated = 77;
   response.stats.ta_sorted_accesses = 40;
   response.stats.ta_early_terminated = true;
+  response.deadline_ms = 750;
+  response.priority = RequestPriority::kHigh;
   return response;
 }
 
@@ -232,6 +236,55 @@ TEST(ResponseCodecTest, DecodeErrors) {
       "\"name\":\"x\",\"type\":\"T\",\"score\":1.0}]}");
   ASSERT_FALSE(truncated.ok());
   EXPECT_EQ(truncated.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OverloadFieldsCodecTest, DeadlineAndPriorityRoundTrip) {
+  QueryRequest request;
+  request.dataset = "car";
+  request.query_text = "?Car product GER";
+  request.deadline_ms = 1234;
+  request.priority = RequestPriority::kHigh;
+  auto decoded = DecodeQueryRequestJson(EncodeQueryRequestJson(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().deadline_ms, 1234);
+  EXPECT_EQ(decoded.ValueOrDie().priority, RequestPriority::kHigh);
+  EXPECT_TRUE(decoded.ValueOrDie() == request);
+}
+
+TEST(OverloadFieldsCodecTest, AbsentFieldsDecodeToPreDeadlineDefaults) {
+  // A v1 document from a pre-deadline client must keep its old meaning:
+  // no deadline, normal priority.
+  auto request = DecodeQueryRequestJson(
+      "{\"v\":1,\"dataset\":\"car\",\"query_text\":\"?Car product GER\"}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request.ValueOrDie().deadline_ms, 0);
+  EXPECT_EQ(request.ValueOrDie().priority, RequestPriority::kNormal);
+
+  auto response = DecodeQueryResponseJson(
+      "{\"v\":1,\"dataset\":\"car\",\"answers\":[]}");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.ValueOrDie().deadline_ms, 0);
+  EXPECT_EQ(response.ValueOrDie().priority, RequestPriority::kNormal);
+}
+
+TEST(OverloadFieldsCodecTest, MalformedOverloadFieldsAreRejected) {
+  auto negative = DecodeQueryRequestJson(
+      "{\"v\":1,\"dataset\":\"c\",\"query_text\":\"?T p N\","
+      "\"deadline_ms\":-5}");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_priority = DecodeQueryRequestJson(
+      "{\"v\":1,\"dataset\":\"c\",\"query_text\":\"?T p N\","
+      "\"priority\":\"urgent\"}");
+  ASSERT_FALSE(bad_priority.ok());
+  EXPECT_EQ(bad_priority.status().code(), StatusCode::kInvalidArgument);
+
+  // The response decoder enforces the same rule as the request decoder.
+  auto negative_echo = DecodeQueryResponseJson(
+      "{\"v\":1,\"dataset\":\"c\",\"answers\":[],\"deadline_ms\":-5}");
+  ASSERT_FALSE(negative_echo.ok());
+  EXPECT_EQ(negative_echo.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ErrorCodecTest, EncodesCodeAndMessage) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <memory>
@@ -274,6 +275,225 @@ TEST(KgSessionQueryTest, QueryJsonWireRoundTrip) {
   ASSERT_TRUE(nf.ok());
   EXPECT_EQ(nf.ValueOrDie().Find("error")->Find("code")->string_value(),
             "NotFound");
+}
+
+/// Parks every worker of the session's shared pool until Release() is
+/// called; the constructor returns once all workers are parked, so
+/// subsequent submissions verifiably stay queued.
+struct SessionPoolBlocker {
+  explicit SessionPoolBlocker(KgSession* session,
+                              const std::string& dataset) {
+    ThreadPool* pool = session->service(dataset)->executor();
+    const size_t workers = pool->num_threads();
+    std::vector<std::future<void>> running;
+    for (size_t i = 0; i < workers; ++i) {
+      auto started = std::make_shared<std::promise<void>>();
+      running.push_back(started->get_future());
+      done.push_back(pool->Submit([this, started] {
+        started->set_value();
+        gate_future.wait();
+      }));
+    }
+    for (auto& r : running) r.wait();
+  }
+  void Release() {
+    gate.set_value();
+    for (auto& d : done) d.wait();
+  }
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  std::vector<std::future<void>> done;
+};
+
+TEST(KgSessionOverloadTest, SubmitAdmissionIsDecidedAtSubmissionTime) {
+  KgSessionOptions options;
+  options.num_threads = 2;
+  options.max_in_flight = 1;
+  options.max_queued = 1;
+  KgSession session(options);
+  ASSERT_TRUE(RegisterCars(&session).ok());
+
+  SessionPoolBlocker blocker(&session, "cars");
+  // Async capacity = 1 + 1 = 2. With every worker parked, the first two
+  // submissions hold their slots in the session queue; the third must
+  // come back rejected immediately — before any queueing.
+  auto f1 = session.Submit(CarRequest("?Car product GER"));
+  auto f2 = session.Submit(CarRequest("?Car product GER"));
+  auto f3 = session.Submit(CarRequest("?Car product GER"));
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "over-capacity submission must fail fast, not queue";
+  auto rejected = f3.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  blocker.Release();
+  ASSERT_TRUE(f1.get().ok());
+  ASSERT_TRUE(f2.get().ok());
+  const ServiceStatsSnapshot stats = session.Stats("cars").ValueOrDie();
+  EXPECT_EQ(stats.queries_rejected, 1u);
+  EXPECT_EQ(stats.queries_total, 2u);
+  EXPECT_EQ(stats.admitted_outstanding, 0u);
+}
+
+TEST(KgSessionOverloadTest, BudgetSpentInQueueIsCountedByTheService) {
+  ManualClock clock(1'000'000);
+  KgSessionOptions options;
+  options.num_threads = 2;
+  KgSession session(options, &clock);
+  ASSERT_TRUE(RegisterCars(&session).ok());
+
+  SessionPoolBlocker blocker(&session, "cars");
+  QueryRequest request = CarRequest("?Car product GER");
+  request.deadline_ms = 5;  // stamped now; burns away while queued
+  auto future = session.Submit(request);
+  clock.AdvanceMicros(10'000);
+  blocker.Release();
+  auto r = future.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // The expiry is the service's outcome, not a facade short-circuit, so
+  // the per-dataset overload counters record it.
+  const ServiceStatsSnapshot stats = session.Stats("cars").ValueOrDie();
+  EXPECT_EQ(stats.queries_deadline_exceeded, 1u);
+  EXPECT_EQ(stats.queries_failed, 1u);
+}
+
+TEST(KgSessionOverloadTest, UntrustedPriorityIsClampedToNormal) {
+  // A session serving untrusted wire clients can refuse to honor
+  // "priority": "high", so self-promoted requests cannot bypass the
+  // admission limits the operator configured.
+  KgSessionOptions options;
+  options.num_threads = 2;
+  options.max_in_flight = 1;
+  options.max_queued = 0;
+  options.honor_request_priority = false;
+  KgSession session(options);
+  ASSERT_TRUE(RegisterCars(&session).ok());
+
+  SessionPoolBlocker blocker(&session, "cars");
+  auto admitted = session.Submit(CarRequest("?Car product GER"));
+  QueryRequest promoted = CarRequest("?Car product GER");
+  promoted.priority = RequestPriority::kHigh;
+  auto rejected_future = session.Submit(promoted);
+  ASSERT_EQ(rejected_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  auto rejected = rejected_future.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  blocker.Release();
+  ASSERT_TRUE(admitted.get().ok());
+  EXPECT_EQ(session.Stats("cars").ValueOrDie().queries_rejected, 1u);
+}
+
+TEST(KgSessionOverloadTest, TrustedPriorityStillBypassesLimits) {
+  // The default (in-process callers): kHigh is honored and admitted past
+  // the limits.
+  KgSessionOptions options;
+  options.num_threads = 2;
+  options.max_in_flight = 1;
+  options.max_queued = 0;
+  KgSession session(options);
+  ASSERT_TRUE(RegisterCars(&session).ok());
+
+  SessionPoolBlocker blocker(&session, "cars");
+  auto first = session.Submit(CarRequest("?Car product GER"));
+  QueryRequest promoted = CarRequest("?Car product GER");
+  promoted.priority = RequestPriority::kHigh;
+  auto second = session.Submit(promoted);  // over limit, but high priority
+  blocker.Release();
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(second.get().ok());
+  EXPECT_EQ(session.Stats("cars").ValueOrDie().queries_rejected, 0u);
+}
+
+TEST(KgSessionOverloadTest, GenerousDeadlineAndPriorityAreEchoedNotBinding) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  const QueryRequest plain = CarRequest("?Car product GER");
+  auto reference = session.Query(plain);
+  ASSERT_TRUE(reference.ok());
+
+  QueryRequest bounded = plain;
+  bounded.deadline_ms = 3'600'000;  // one hour: never binds
+  bounded.priority = RequestPriority::kHigh;
+  CancelToken token;  // never cancelled
+  auto r = session.Query(bounded, &token);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(AnswerNames(r.ValueOrDie()),
+            AnswerNames(reference.ValueOrDie()));
+  EXPECT_EQ(r.ValueOrDie().deadline_ms, 3'600'000);
+  EXPECT_EQ(r.ValueOrDie().priority, RequestPriority::kHigh);
+  // The unconstrained response advertises the defaults.
+  EXPECT_EQ(reference.ValueOrDie().deadline_ms, 0);
+  EXPECT_EQ(reference.ValueOrDie().priority, RequestPriority::kNormal);
+}
+
+TEST(KgSessionOverloadTest, CancelledTokenSurfacesThroughFacade) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  CancelToken token;
+  token.Cancel();
+  // Sync, async, and batch all observe the revocation and surface
+  // kCancelled; the dataset's serving counters prove it reached the
+  // service layer rather than being short-circuited in the facade only.
+  auto sync = session.Query(CarRequest("?Car product GER"), &token);
+  ASSERT_FALSE(sync.ok());
+  EXPECT_EQ(sync.status().code(), StatusCode::kCancelled);
+
+  auto async = session.Submit(CarRequest("?Car product GER"), &token).get();
+  ASSERT_FALSE(async.ok());
+  EXPECT_EQ(async.status().code(), StatusCode::kCancelled);
+
+  std::vector<Result<QueryResponse>> batch = session.QueryBatch(
+      {CarRequest("?Car product GER"), CarRequest("?Car product GER")},
+      &token);
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& r : batch) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  }
+  // All four outcomes were decided (and counted) by the service layer.
+  EXPECT_EQ(session.Stats("cars").ValueOrDie().queries_cancelled, 4u);
+}
+
+TEST(KgSessionOverloadTest, NegativeDeadlineIsInvalidEverywhere) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  QueryRequest request = CarRequest("?Car product GER");
+  request.deadline_ms = -1;
+  EXPECT_EQ(session.Query(request).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Submit(request).get().status().code(),
+            StatusCode::kInvalidArgument);
+  // The wire decoder rejects it before execution, as an error document.
+  const std::string doc = session.QueryJson(
+      "{\"v\":1,\"dataset\":\"cars\",\"query_text\":\"?Car product GER\","
+      "\"deadline_ms\":-1}");
+  auto parsed = JsonValue::Parse(doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().Find("error")->Find("code")->string_value(),
+            "InvalidArgument");
+}
+
+TEST(KgSessionOverloadTest, AdmissionLimitsPropagateToDatasetServices) {
+  KgSessionOptions options;
+  options.max_in_flight = 3;
+  options.max_queued = 5;
+  KgSession session(options);
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  ASSERT_TRUE(RegisterCars(&session, "cars2").ok());
+  for (const char* name : {"cars", "cars2"}) {
+    const QueryService* service = session.service(name);
+    ASSERT_NE(service, nullptr);
+    EXPECT_TRUE(service->admission().enabled()) << name;
+    EXPECT_EQ(service->admission().max_in_flight(), 3u) << name;
+    EXPECT_EQ(service->admission().max_queued(), 5u) << name;
+  }
+  // Sequential traffic never overlaps, so nothing is rejected.
+  ASSERT_TRUE(session.Query(CarRequest("?Car product GER")).ok());
+  EXPECT_EQ(session.Stats("cars").ValueOrDie().queries_rejected, 0u);
 }
 
 TEST(KgSessionQueryTest, ParseQueryUsesDatasetGraphForTypes) {

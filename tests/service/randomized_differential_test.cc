@@ -1,0 +1,181 @@
+// Randomized differential suite (ctest label: randomized): drive the
+// gen/workload query constructors across many RNG seeds and assert the
+// serving stack — cold caches, warm caches, and with generous
+// deadlines/cancel tokens installed — answers bit-identically to direct
+// serial SgqEngine execution, query by query, including agreement on
+// which (noise-mutated) queries fail and how.
+//
+// Seeds and iteration counts are fixed so the suite is deterministic and
+// stays inside the CI sanitizer jobs' time budget.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/synthetic_kg.h"
+#include "gen/workload.h"
+#include "service/query_service.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+
+namespace kgsearch {
+namespace {
+
+constexpr uint64_t kFirstSeed = 1;
+constexpr uint64_t kLastSeed = 24;  // >= 20 seeds, satellite requirement
+
+struct RandomCase {
+  QueryGraph query;
+  EngineOptions options;
+  std::string description;
+};
+
+class RandomizedDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto generated = GenerateDataset(DbpediaLikeSpec(0.3, 42));
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    dataset_ = std::move(generated).ValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static GeneratedDataset* dataset_;
+};
+
+GeneratedDataset* RandomizedDifferentialTest::dataset_ = nullptr;
+
+/// Derives randomized queries + options from a seed: random constructor
+/// (intent / star when the group allows it), random anchors, random engine
+/// knobs, and occasional node/edge noise — the full surface the service
+/// must reproduce exactly. (Out-param + void so gtest ASSERTs work here.)
+void MakeCases(const GeneratedDataset& ds, uint64_t seed,
+               std::vector<RandomCase>* out) {
+  Rng rng(seed);
+  std::vector<RandomCase>& cases = *out;
+  for (int q = 0; q < 3; ++q) {
+    const size_t intent = rng.UniformIndex(ds.intents.size());
+    const size_t anchors = ds.intents[intent].anchor_names.size();
+    const size_t anchor = rng.UniformIndex(anchors == 0 ? 1 : anchors);
+
+    Result<QueryWithGold> built = Status::Internal("unset");
+    std::string kind;
+    if (rng.Bernoulli(0.4)) {
+      // Star query over two intents of the same group when one exists.
+      size_t partner = ds.intents.size();
+      for (size_t i = 0; i < ds.intents.size(); ++i) {
+        if (i != intent && ds.intents[i].group_index ==
+                               ds.intents[intent].group_index) {
+          partner = i;
+          break;
+        }
+      }
+      if (partner < ds.intents.size()) {
+        const size_t partner_anchors =
+            ds.intents[partner].anchor_names.size();
+        built = MakeStarQuery(
+            ds, {{intent, anchor},
+                 {partner, rng.UniformIndex(
+                               partner_anchors == 0 ? 1 : partner_anchors)}});
+        kind = "star";
+      }
+    }
+    if (!built.ok()) {
+      built = MakeIntentQuery(ds, intent, anchor);
+      kind = "intent";
+    }
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+    RandomCase c;
+    c.query = std::move(built).ValueOrDie().query;
+    // Noise (Section VII-E) sometimes mutates the query into aliases or
+    // near-synonym predicates; whatever the engines make of it, the
+    // service must make of it identically.
+    if (rng.Bernoulli(0.3)) AddNodeNoise(ds, &rng, &c.query);
+    if (rng.Bernoulli(0.3)) AddEdgeNoise(ds, &rng, &c.query);
+
+    c.options.k = static_cast<size_t>(rng.UniformInt(5, 25));
+    c.options.n_hat = static_cast<size_t>(rng.UniformInt(2, 4));
+    c.options.tau = 0.6 + 0.1 * static_cast<double>(rng.UniformInt(0, 2));
+    c.options.seed = seed;
+    c.description = "seed " + std::to_string(seed) + " case " +
+                    std::to_string(q) + " (" + kind + ")";
+    cases.push_back(std::move(c));
+  }
+}
+
+/// Order-sensitive fingerprint: (pivot, score) per rank.
+std::vector<std::pair<NodeId, double>> Fingerprint(const QueryResult& r) {
+  std::vector<std::pair<NodeId, double>> fp;
+  fp.reserve(r.matches.size());
+  for (const FinalMatch& m : r.matches) {
+    fp.emplace_back(m.pivot_match, m.score);
+  }
+  return fp;
+}
+
+TEST_F(RandomizedDifferentialTest,
+       ServiceMatchesSerialEngineAcrossSeedsColdWarmAndDeadlined) {
+  SgqEngine direct(dataset_->graph.get(), dataset_->space.get(),
+                   &dataset_->library);
+  QueryServiceOptions soptions;
+  soptions.num_threads = 4;
+  QueryService service(dataset_->graph.get(), dataset_->space.get(),
+                       &dataset_->library, soptions);
+
+  CancelToken never_cancelled;
+  const int64_t generous_deadline =
+      SystemClock::Default()->NowMicros() + 3'600'000'000LL;  // +1 hour
+
+  for (uint64_t seed = kFirstSeed; seed <= kLastSeed; ++seed) {
+    std::vector<RandomCase> cases;
+    {
+      SCOPED_TRACE("building seed " + std::to_string(seed));
+      MakeCases(*dataset_, seed, &cases);
+      if (HasFatalFailure()) return;
+    }
+    for (const RandomCase& c : cases) {
+      SCOPED_TRACE(c.description);
+      EngineOptions serial_options = c.options;
+      serial_options.threads = 1;
+      auto reference = direct.Query(c.query, serial_options);
+
+      // Pass 1: cold caches (first sight of this query signature).
+      auto cold = service.Query(c.query, c.options);
+      ASSERT_EQ(cold.ok(), reference.ok())
+          << (cold.ok() ? reference.status() : cold.status()).ToString();
+      // Pass 2: warm caches (decomposition + matcher hits).
+      auto warm = service.Query(c.query, c.options);
+      ASSERT_EQ(warm.ok(), reference.ok());
+      // Pass 3: generous deadline + live cancel token that never fires.
+      EngineOptions deadlined = c.options;
+      deadlined.deadline_micros = generous_deadline;
+      deadlined.cancel = &never_cancelled;
+      auto bounded = service.Query(c.query, deadlined);
+      ASSERT_EQ(bounded.ok(), reference.ok());
+
+      if (!reference.ok()) {
+        // Failures must agree in kind, not just in existence.
+        EXPECT_EQ(cold.status().code(), reference.status().code());
+        EXPECT_EQ(warm.status().code(), reference.status().code());
+        EXPECT_EQ(bounded.status().code(), reference.status().code());
+        continue;
+      }
+      const auto expected = Fingerprint(reference.ValueOrDie());
+      EXPECT_EQ(Fingerprint(cold.ValueOrDie()), expected) << "cold";
+      EXPECT_EQ(Fingerprint(warm.ValueOrDie()), expected) << "warm";
+      EXPECT_EQ(Fingerprint(bounded.ValueOrDie()), expected)
+          << "generous deadline";
+    }
+  }
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.queries_rejected, 0u);
+  EXPECT_EQ(stats.queries_cancelled, 0u);
+  EXPECT_EQ(stats.queries_deadline_exceeded, 0u);
+  EXPECT_GT(stats.decomposition_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,114 @@
+// CancelToken / deadline primitive semantics: latch behavior, interrupt
+// policy ordering, and relative->absolute deadline conversion.
+#include "util/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace kgsearch {
+namespace {
+
+TEST(CancelTokenTest, StartsUncancelledAndLatches) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, CancelIsVisibleAcrossThreads) {
+  CancelToken token;
+  std::thread canceller([&token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelTokenTest, ConcurrentCancelAndPollIsSafe) {
+  CancelToken token;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&token] { token.Cancel(); });
+    threads.emplace_back([&token] {
+      for (int j = 0; j < 1000; ++j) {
+        if (token.cancelled()) break;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(DeadlineFromNowMsTest, ZeroAndNegativeMeanNoDeadline) {
+  ManualClock clock(5'000'000);
+  EXPECT_EQ(DeadlineFromNowMs(0, &clock), 0);
+  EXPECT_EQ(DeadlineFromNowMs(-7, &clock), 0);
+}
+
+TEST(DeadlineFromNowMsTest, PositiveBudgetIsAbsoluteOnTheClock) {
+  ManualClock clock(5'000'000);
+  EXPECT_EQ(DeadlineFromNowMs(25, &clock), 5'000'000 + 25'000);
+}
+
+TEST(DeadlineFromNowMsTest, HugeBudgetSaturatesInsteadOfOverflowing) {
+  // Wire clients may send any int64; the conversion must saturate to the
+  // far future, never wrap (which would mean "expired" or UB).
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  ManualClock clock(5'000'000);
+  EXPECT_EQ(DeadlineFromNowMs(kMax, &clock), kMax);
+  EXPECT_EQ(DeadlineFromNowMs(kMax / 1000 + 1, &clock), kMax);
+  ManualClock late(kMax - 10);
+  EXPECT_EQ(DeadlineFromNowMs(1, &late), kMax);
+}
+
+TEST(CheckInterruptTest, OkWhenNothingTriggers) {
+  ManualClock clock(100);
+  CancelToken token;
+  EXPECT_TRUE(CheckInterrupt(&token, 0, &clock).ok());
+  EXPECT_TRUE(CheckInterrupt(nullptr, 0, &clock).ok());
+  EXPECT_TRUE(CheckInterrupt(&token, 200, &clock).ok());
+}
+
+TEST(CheckInterruptTest, ExpiredDeadlineIsDeadlineExceeded) {
+  ManualClock clock(100);
+  Status at = CheckInterrupt(nullptr, 100, &clock);  // boundary: now == ddl
+  EXPECT_EQ(at.code(), StatusCode::kDeadlineExceeded);
+  clock.AdvanceMicros(50);
+  Status past = CheckInterrupt(nullptr, 100, &clock);
+  EXPECT_EQ(past.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CheckInterruptTest, CancelledTokenIsCancelled) {
+  ManualClock clock(100);
+  CancelToken token;
+  token.Cancel();
+  EXPECT_EQ(CheckInterrupt(&token, 0, &clock).code(),
+            StatusCode::kCancelled);
+}
+
+TEST(CheckInterruptTest, CancellationWinsOverExpiredDeadline) {
+  ManualClock clock(1000);
+  CancelToken token;
+  token.Cancel();
+  Status s = CheckInterrupt(&token, 500, &clock);  // both triggered
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+}
+
+TEST(StatusCodeTest, NewServingCodesHaveNamesAndFactories) {
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+}  // namespace
+}  // namespace kgsearch
