@@ -59,7 +59,9 @@ inline double TransEScoreL2Sq(const FloatVec& h, const FloatVec& r,
 }
 
 /// Uniform init in [-6/sqrt(dim), 6/sqrt(dim)] as in the TransE paper.
-inline FloatVec RandomInitVec(size_t dim, Rng* rng) {
+/// Templated over the generator so per-item FastRng streams work too.
+template <typename RngT = Rng>
+inline FloatVec RandomInitVec(size_t dim, RngT* rng) {
   double bound = 6.0 / std::sqrt(static_cast<double>(dim));
   FloatVec v(dim);
   for (float& x : v) x = static_cast<float>(rng->UniformReal(-bound, bound));
@@ -67,7 +69,8 @@ inline FloatVec RandomInitVec(size_t dim, Rng* rng) {
 }
 
 /// A unit vector drawn uniformly from the sphere.
-inline FloatVec RandomUnitVec(size_t dim, Rng* rng) {
+template <typename RngT = Rng>
+inline FloatVec RandomUnitVec(size_t dim, RngT* rng) {
   FloatVec v(dim);
   for (float& x : v) x = static_cast<float>(rng->Normal());
   NormalizeInPlace(&v);

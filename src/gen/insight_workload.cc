@@ -1,0 +1,215 @@
+#include "gen/insight_workload.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+namespace {
+
+constexpr uint64_t kBridgeSalt = 0x1B51D6E0;
+constexpr uint64_t kPathSalt = 0x1B51D6E1;
+constexpr uint64_t kNeighborhoodSalt = 0x1B51D6E2;
+
+FastRng VariantRng(const InsightProfile& profile, uint64_t salt,
+                   uint64_t variant) {
+  return FastRng(MixSeed(profile.spec.seed + salt, variant));
+}
+
+uint64_t PickCommunity(const InsightProfile& profile, FastRng* rng) {
+  return rng->UniformIndex(profile.spec.num_communities);
+}
+
+/// A hub-ring neighbor of community c and the ring predicate that labels
+/// that edge — mirrors ScaleModel::EmitHubEdges (deltas 1,2,4,8; predicate
+/// cycles through the bridge family), so the returned anchor pair is
+/// connected by construction whenever num_communities > 1.
+std::pair<uint64_t, const std::string*> RingNeighbor(
+    const InsightProfile& profile, uint64_t c, FastRng* rng) {
+  const uint64_t C = profile.spec.num_communities;
+  for (uint64_t attempt = 0; attempt < 4; ++attempt) {
+    const uint64_t i = rng->UniformIndex(4);
+    const uint64_t c2 = (c + (1ull << i)) % C;
+    if (c2 == c) continue;
+    const uint64_t b = i % profile.spec.num_bridge_predicates;
+    return {c2, &profile.bridge_predicates[b]};
+  }
+  // Tiny rings (C = 2 or 3) can draw self deltas repeatedly; delta 1 always
+  // leaves c when C > 1.
+  const uint64_t c2 = (c + 1) % C;
+  return {c2, &profile.bridge_predicates[0]};
+}
+
+}  // namespace
+
+const char* InsightFamilyName(InsightFamily family) {
+  switch (family) {
+    case InsightFamily::kBridge:
+      return "bridge";
+    case InsightFamily::kPath:
+      return "path";
+    case InsightFamily::kNeighborhood:
+      return "neighborhood";
+  }
+  return "unknown";
+}
+
+InsightQuery MakeBridgeInsight(const InsightProfile& profile,
+                               uint64_t variant) {
+  FastRng rng = VariantRng(profile, kBridgeSalt, variant);
+  const uint64_t c = PickCommunity(profile, &rng);
+  const uint64_t d = profile.DomainOfCommunity(c);
+
+  InsightQuery out;
+  out.family = InsightFamily::kBridge;
+  const int member = out.query.AddTargetNode(profile.member_types[d]);
+  const int own_hub = out.query.AddSpecificNode(
+      profile.hub_types[d], profile.hub_names[c]);
+  out.query.AddEdge(member, own_hub, profile.member_of_predicates[d]);
+  if (profile.spec.num_communities > 1) {
+    const auto [c2, bridge_pred] = RingNeighbor(profile, c, &rng);
+    const uint64_t d2 = profile.DomainOfCommunity(c2);
+    const int far_hub = out.query.AddSpecificNode(
+        profile.hub_types[d2], profile.hub_names[c2]);
+    out.query.AddEdge(own_hub, far_hub, *bridge_pred);
+    out.description = StrFormat(
+        "bridge insight: members of %s behind the %s ring edge to %s",
+        profile.hub_names[c].c_str(), bridge_pred->c_str(),
+        profile.hub_names[c2].c_str());
+  } else {
+    out.description = StrFormat("bridge insight (single community): %s",
+                                profile.hub_names[c].c_str());
+  }
+  return out;
+}
+
+InsightQuery MakePathInsight(const InsightProfile& profile,
+                             uint64_t variant) {
+  FastRng rng = VariantRng(profile, kPathSalt, variant);
+  const uint64_t c = PickCommunity(profile, &rng);
+  const uint64_t d = profile.DomainOfCommunity(c);
+  const uint64_t k = rng.UniformIndex(profile.spec.num_intra_predicates);
+
+  InsightQuery out;
+  out.family = InsightFamily::kPath;
+  const int subject = out.query.AddTargetNode(profile.member_types[d]);
+  const int mid = out.query.AddTargetNode(profile.member_types[d]);
+  const int hub = out.query.AddSpecificNode(profile.hub_types[d],
+                                            profile.hub_names[c]);
+  out.query.AddEdge(subject, mid, profile.intra_predicates[d][k]);
+  out.query.AddEdge(mid, hub, profile.member_of_predicates[d]);
+  out.description = StrFormat(
+      "path insight: 2-hop %s chain into %s",
+      profile.intra_predicates[d][k].c_str(), profile.hub_names[c].c_str());
+  return out;
+}
+
+InsightQuery MakeNeighborhoodInsight(const InsightProfile& profile,
+                                     uint64_t variant) {
+  FastRng rng = VariantRng(profile, kNeighborhoodSalt, variant);
+  const uint64_t c = PickCommunity(profile, &rng);
+  const uint64_t d = profile.DomainOfCommunity(c);
+
+  InsightQuery out;
+  out.family = InsightFamily::kNeighborhood;
+  const int member = out.query.AddTargetNode(profile.member_types[d]);
+  const int own_hub = out.query.AddSpecificNode(
+      profile.hub_types[d], profile.hub_names[c]);
+  out.query.AddEdge(member, own_hub, profile.member_of_predicates[d]);
+  if (profile.spec.num_communities > 1) {
+    // Members bridge to arbitrary hubs, so this join is satisfiable but not
+    // guaranteed non-empty — the differential contract covers empty sets.
+    uint64_t c2 = rng.UniformIndex(profile.spec.num_communities - 1);
+    if (c2 >= c) ++c2;
+    const uint64_t d2 = profile.DomainOfCommunity(c2);
+    const uint64_t b = rng.UniformIndex(profile.spec.num_bridge_predicates);
+    const int far_hub = out.query.AddSpecificNode(
+        profile.hub_types[d2], profile.hub_names[c2]);
+    out.query.AddEdge(member, far_hub, profile.bridge_predicates[b]);
+    out.description = StrFormat(
+        "neighborhood insight: members of %s also %s-linked to %s",
+        profile.hub_names[c].c_str(), profile.bridge_predicates[b].c_str(),
+        profile.hub_names[c2].c_str());
+  } else {
+    out.description = StrFormat("neighborhood insight: members of %s",
+                                profile.hub_names[c].c_str());
+  }
+  return out;
+}
+
+bool AddInsightAliasNoise(const InsightProfile& profile, FastRng* rng,
+                          QueryGraph* query) {
+  // Collect the rewrite candidates: (node index, use-name?) pairs whose
+  // label has catalog aliases.
+  std::vector<std::pair<int, bool>> candidates;
+  for (size_t i = 0; i < query->NumNodes(); ++i) {
+    const QueryNode& node = query->node(static_cast<int>(i));
+    if (node.is_specific() && profile.name_aliases.count(node.name) > 0) {
+      candidates.emplace_back(static_cast<int>(i), true);
+    }
+    if (profile.type_aliases.count(node.type) > 0) {
+      candidates.emplace_back(static_cast<int>(i), false);
+    }
+  }
+  if (candidates.empty()) return false;
+
+  const auto [index, use_name] =
+      candidates[rng->UniformIndex(candidates.size())];
+  const QueryNode& node = query->node(index);
+  const auto& catalog = use_name ? profile.name_aliases : profile.type_aliases;
+  const auto& aliases =
+      catalog.at(use_name ? node.name : node.type);
+  const std::string& alias =
+      aliases[rng->UniformIndex(aliases.size())].first;
+
+  // QueryGraph has no node mutators; rebuild with the one label swapped.
+  QueryGraph noised;
+  for (size_t i = 0; i < query->NumNodes(); ++i) {
+    const QueryNode& n = query->node(static_cast<int>(i));
+    const bool hit = static_cast<int>(i) == index;
+    const std::string type = hit && !use_name ? alias : n.type;
+    if (n.is_specific()) {
+      noised.AddSpecificNode(type, hit && use_name ? alias : n.name);
+    } else {
+      noised.AddTargetNode(type);
+    }
+  }
+  for (size_t e = 0; e < query->NumEdges(); ++e) {
+    const QueryEdge& edge = query->edge(static_cast<int>(e));
+    noised.AddEdge(edge.from, edge.to, edge.predicate);
+  }
+  *query = std::move(noised);
+  return true;
+}
+
+std::vector<InsightQuery> BuildInsightMix(const InsightProfile& profile,
+                                          const InsightMixOptions& options) {
+  FastRng noise_rng(
+      MixSeed(profile.spec.seed + kBridgeSalt, options.seed ^ 0xA015E));
+  std::vector<InsightQuery> out;
+  out.reserve(options.num_queries);
+  for (uint64_t i = 0; i < options.num_queries; ++i) {
+    const uint64_t variant = MixSeed(options.seed, i);
+    InsightQuery q;
+    switch (i % 3) {
+      case 0:
+        q = MakeBridgeInsight(profile, variant);
+        break;
+      case 1:
+        q = MakePathInsight(profile, variant);
+        break;
+      default:
+        q = MakeNeighborhoodInsight(profile, variant);
+        break;
+    }
+    if (noise_rng.Bernoulli(options.alias_noise_fraction)) {
+      q.alias_noised = AddInsightAliasNoise(profile, &noise_rng, &q.query);
+      if (q.alias_noised) q.description += " [alias-noised]";
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace kgsearch

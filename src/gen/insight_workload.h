@@ -1,0 +1,78 @@
+// Insight query workload over scale-generated graphs.
+//
+// The laptop workload (gen/workload.h) derives queries from a materialized
+// GeneratedDataset; at million-node scale there is no in-memory dataset to
+// derive from. These families are constructed purely from the
+// InsightProfile — the spec-derivable hub/type/predicate catalog — so a
+// soak driver can build millions of distinct queries without touching the
+// graph:
+//
+//   bridge:       ?member --member_of-- hub_a --bridge-- hub_b, anchored on
+//                 a hub-ring edge that exists by construction
+//   path:         ?member --intra-- ?member --member_of-- hub, a 2-hop
+//                 chain through one community
+//   neighborhood: one ?member starred into its own hub and a foreign hub
+//                 (join traffic; answer sets may legitimately be empty)
+//
+// Every query is index-addressed: (profile, variant) fully determines the
+// query via the portable FastRng, so clients replay identical workloads
+// across runs and platforms. Alias noise swaps canonical labels for catalog
+// aliases (registered or unknown), exercising the transformation library
+// and matcher caches exactly like Section VII-E node noise.
+//
+// None of the constructors compute gold answers — at scale the correctness
+// contract is differential (service answers bit-identical to the serial
+// engine), pinned by the insight randomized differential test.
+#ifndef KGSEARCH_GEN_INSIGHT_WORKLOAD_H_
+#define KGSEARCH_GEN_INSIGHT_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query_graph.h"
+#include "gen/scale_kg.h"
+#include "util/rng.h"
+
+namespace kgsearch {
+
+enum class InsightFamily { kBridge, kPath, kNeighborhood };
+
+const char* InsightFamilyName(InsightFamily family);
+
+struct InsightQuery {
+  QueryGraph query;
+  InsightFamily family = InsightFamily::kBridge;
+  bool alias_noised = false;
+  std::string description;
+};
+
+/// Family constructors. `variant` seeds the per-query choice of
+/// communities/predicates; equal (profile, variant) pairs yield equal
+/// queries. All returned queries pass QueryGraph::Validate().
+InsightQuery MakeBridgeInsight(const InsightProfile& profile,
+                               uint64_t variant);
+InsightQuery MakePathInsight(const InsightProfile& profile, uint64_t variant);
+InsightQuery MakeNeighborhoodInsight(const InsightProfile& profile,
+                                     uint64_t variant);
+
+/// Rewrites one label of `query` (a specific node's name, else a node type)
+/// with an alias from the profile's catalogs; the alias may be unregistered
+/// in the transformation library (unanswerable on purpose). Returns false
+/// when the profile has no aliases to offer. Deterministic in (*rng).
+bool AddInsightAliasNoise(const InsightProfile& profile, FastRng* rng,
+                          QueryGraph* query);
+
+struct InsightMixOptions {
+  uint64_t num_queries = 64;
+  uint64_t seed = 7;                  ///< mixed with profile.spec.seed
+  double alias_noise_fraction = 0.25; ///< share of queries label-noised
+};
+
+/// A deterministic mixed workload cycling through the three families.
+std::vector<InsightQuery> BuildInsightMix(const InsightProfile& profile,
+                                          const InsightMixOptions& options);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_GEN_INSIGHT_WORKLOAD_H_

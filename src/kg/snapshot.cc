@@ -10,20 +10,18 @@
 
 namespace kgsearch {
 
-namespace {
+using snapshot_internal::kHeaderBytes;
+using snapshot_internal::kSectionGraph;
+using snapshot_internal::kSectionLibrary;
+using snapshot_internal::kSectionSpace;
 
-// Section ids inside the payload, in required order.
-constexpr uint32_t kSectionGraph = 1;
-constexpr uint32_t kSectionLibrary = 2;
-constexpr uint32_t kSectionSpace = 3;
+namespace {
 
 // Triples are written as one bulk vector copy; this pins the layout the
 // format depends on.
 static_assert(sizeof(Triple) == 12 &&
                   std::has_unique_object_representations_v<Triple>,
               "Triple must be a packed 3x u32 POD for bulk serialization");
-
-constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;
 
 // ----- dictionary -----
 
@@ -379,5 +377,21 @@ Result<DatasetSnapshot> LoadSnapshot(const std::string& path) {
   KG_RETURN_NOT_OK(bytes.status());
   return DecodeSnapshot(bytes.ValueOrDie());
 }
+
+namespace snapshot_internal {
+
+std::string EncodeLibraryBody(const TransformationLibrary& library) {
+  BinaryWriter out;
+  WriteLibrarySection(library, &out);
+  return out.Release();
+}
+
+std::string EncodeSpaceBody(const PredicateSpace& space) {
+  BinaryWriter out;
+  WriteSpaceSection(space, &out);
+  return out.Release();
+}
+
+}  // namespace snapshot_internal
 
 }  // namespace kgsearch

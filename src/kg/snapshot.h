@@ -72,6 +72,27 @@ Status SaveSnapshot(const std::string& path, const KnowledgeGraph& graph,
 /// One bulk file read + DecodeSnapshot.
 Result<DatasetSnapshot> LoadSnapshot(const std::string& path);
 
+/// Format internals shared with the streaming writer (kg/snapshot_stream.h)
+/// so both emit bit-identical bytes from one implementation. Not API.
+namespace snapshot_internal {
+
+/// Payload section ids, in required file order.
+inline constexpr uint32_t kSectionGraph = 1;
+inline constexpr uint32_t kSectionLibrary = 2;
+inline constexpr uint32_t kSectionSpace = 3;
+
+/// Magic + version + payload length + CRC.
+inline constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+/// Section bodies (no id/length framing) exactly as EncodeSnapshot writes
+/// them. Library and space sections are small at any graph scale — alias
+/// records and one vector per predicate — so the streaming writer takes
+/// them whole.
+std::string EncodeLibraryBody(const TransformationLibrary& library);
+std::string EncodeSpaceBody(const PredicateSpace& space);
+
+}  // namespace snapshot_internal
+
 }  // namespace kgsearch
 
 #endif  // KGSEARCH_KG_SNAPSHOT_H_

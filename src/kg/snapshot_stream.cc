@@ -1,0 +1,495 @@
+#include "kg/snapshot_stream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "kg/snapshot.h"
+#include "util/binary_io.h"
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+using snapshot_internal::kHeaderBytes;
+using snapshot_internal::kSectionGraph;
+using snapshot_internal::kSectionLibrary;
+using snapshot_internal::kSectionSpace;
+
+namespace {
+
+static_assert(sizeof(Triple) == 12 &&
+                  std::has_unique_object_representations_v<Triple>,
+              "Triple must be a packed 3x u32 POD for bulk serialization");
+
+/// Graph-section array order; Begin* calls must follow it exactly so the
+/// streamed bytes match EncodeSnapshot's field order.
+enum ArrayIndex : int {
+  kArrayNames = 0,
+  kArrayTypes = 1,
+  kArrayPredicates = 2,
+  kArrayNodeTypes = 3,
+  kArrayTriples = 4,
+  kArrayAdjOffsets = 5,
+  kArrayAdjacency = 6,
+  kArrayTypeOffsets = 7,
+  kArrayTypeMembers = 8,
+  kArrayCount = 9,
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SnapshotStreamWriter>> SnapshotStreamWriter::Open(
+    const std::string& path, size_t buffer_bytes) {
+  if (buffer_bytes == 0) {
+    return Status::InvalidArgument("snapshot stream buffer must be > 0");
+  }
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out |
+                              std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError(StrFormat("cannot open %s for writing",
+                                     path.c_str()));
+  }
+  auto writer = std::unique_ptr<SnapshotStreamWriter>(
+      new SnapshotStreamWriter(std::move(file), buffer_bytes));
+
+  // Header with zeroed length/CRC slots, patched by Finish().
+  Status st = writer->WriteAt(0, kKgPackMagic.data(), kKgPackMagic.size());
+  if (!st.ok()) return st;
+  writer->cursor_ = kKgPackMagic.size();
+  const uint32_t version = kKgPackVersion;
+  st = writer->WriteAt(writer->cursor_, &version, sizeof(version));
+  if (!st.ok()) return st;
+  writer->cursor_ += sizeof(version);
+  writer->payload_len_slot_ = writer->cursor_;
+  const uint64_t zero64 = 0;
+  st = writer->WriteAt(writer->cursor_, &zero64, sizeof(zero64));
+  if (!st.ok()) return st;
+  writer->cursor_ += sizeof(zero64);
+  writer->checksum_slot_ = writer->cursor_;
+  const uint32_t zero32 = 0;
+  st = writer->WriteAt(writer->cursor_, &zero32, sizeof(zero32));
+  if (!st.ok()) return st;
+  writer->cursor_ += sizeof(zero32);
+  writer->payload_start_ = writer->cursor_;
+  KG_CHECK(writer->cursor_ == kHeaderBytes);
+  return writer;
+}
+
+SnapshotStreamWriter::SnapshotStreamWriter(std::fstream file,
+                                           size_t buffer_bytes)
+    : file_(std::move(file)), buffer_cap_(buffer_bytes) {}
+
+SnapshotStreamWriter::~SnapshotStreamWriter() = default;
+
+Status SnapshotStreamWriter::CheckStage(Stage expected, const char* what) {
+  if (!status_.ok()) return status_;
+  if (stage_ != expected) {
+    status_ = Status::InvalidArgument(
+        StrFormat("snapshot stream: %s called out of sequence", what));
+  }
+  return status_;
+}
+
+Status SnapshotStreamWriter::WriteAt(uint64_t pos, const void* data,
+                                     size_t size) {
+  if (!status_.ok()) return status_;
+  file_.seekp(static_cast<std::streamoff>(pos));
+  file_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  if (!file_.good()) {
+    status_ = Status::IOError("snapshot stream: file write failed");
+  }
+  return status_;
+}
+
+SnapshotStreamWriter::Region SnapshotStreamWriter::MakeRegion(uint64_t size) {
+  Region r;
+  r.file_pos = cursor_;
+  r.remaining = size;
+  cursor_ += size;
+  return r;
+}
+
+void SnapshotStreamWriter::TrackBuffered() {
+  const size_t buffered =
+      blob_region_.buffer.size() + offsets_region_.buffer.size() +
+      preds_region_.buffer.size() + flags_region_.buffer.size();
+  stats_.peak_buffered_bytes = std::max(stats_.peak_buffered_bytes, buffered);
+}
+
+Status SnapshotStreamWriter::RegionWrite(Region* region, const void* data,
+                                         size_t size) {
+  if (!status_.ok()) return status_;
+  if (size > region->remaining) {
+    status_ = Status::InvalidArgument(
+        "snapshot stream: append exceeds the declared array size");
+    return status_;
+  }
+  region->remaining -= size;
+  region->buffer.append(static_cast<const char*>(data), size);
+  TrackBuffered();
+  if (region->buffer.size() >= buffer_cap_) return FlushRegion(region);
+  return status_;
+}
+
+Status SnapshotStreamWriter::FlushRegion(Region* region) {
+  if (region->buffer.empty()) return status_;
+  KG_RETURN_NOT_OK(
+      WriteAt(region->file_pos, region->buffer.data(), region->buffer.size()));
+  region->file_pos += region->buffer.size();
+  region->buffer.clear();
+  return status_;
+}
+
+Status SnapshotStreamWriter::WriteScalarU64(Region* region, uint64_t v) {
+  return RegionWrite(region, &v, sizeof(v));
+}
+
+Status SnapshotStreamWriter::BeginGraphSection() {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kHeader, "BeginGraphSection"));
+  const uint32_t id = kSectionGraph;
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &id, sizeof(id)));
+  cursor_ += sizeof(id);
+  graph_len_slot_ = cursor_;
+  const uint64_t zero = 0;
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &zero, sizeof(zero)));
+  cursor_ += sizeof(zero);
+  graph_body_start_ = cursor_;
+  array_index_ = 0;
+  stage_ = Stage::kGraphOpen;
+  return status_;
+}
+
+Status SnapshotStreamWriter::BeginDictionary(uint64_t total_payload_bytes,
+                                             uint64_t num_symbols) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kGraphOpen, "BeginDictionary"));
+  if (array_index_ > kArrayPredicates) {
+    status_ = Status::InvalidArgument(
+        "snapshot stream: all three dictionaries already written");
+    return status_;
+  }
+  // WriteString(blob): u64 length + blob bytes.
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &total_payload_bytes,
+                           sizeof(total_payload_bytes)));
+  cursor_ += sizeof(total_payload_bytes);
+  blob_region_ = MakeRegion(total_payload_bytes);
+  // WriteVector(offsets): u64 count + (num_symbols + 1) u64 entries.
+  const uint64_t offset_count = num_symbols + 1;
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &offset_count, sizeof(offset_count)));
+  cursor_ += sizeof(offset_count);
+  offsets_region_ = MakeRegion(offset_count * sizeof(uint64_t));
+  dict_blob_off_ = 0;
+  KG_RETURN_NOT_OK(WriteScalarU64(&offsets_region_, 0));
+  expected_elems_ = num_symbols;
+  appended_elems_ = 0;
+  stage_ = Stage::kDictionary;
+  return status_;
+}
+
+Status SnapshotStreamWriter::AppendSymbol(std::string_view symbol) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kDictionary, "AppendSymbol"));
+  KG_RETURN_NOT_OK(RegionWrite(&blob_region_, symbol.data(), symbol.size()));
+  dict_blob_off_ += symbol.size();
+  KG_RETURN_NOT_OK(WriteScalarU64(&offsets_region_, dict_blob_off_));
+  ++appended_elems_;
+  return status_;
+}
+
+Status SnapshotStreamWriter::EndDictionary() {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kDictionary, "EndDictionary"));
+  if (appended_elems_ != expected_elems_ || blob_region_.remaining != 0 ||
+      offsets_region_.remaining != 0) {
+    status_ = Status::InvalidArgument(
+        "snapshot stream: dictionary appends do not match the declaration");
+    return status_;
+  }
+  KG_RETURN_NOT_OK(FlushRegion(&blob_region_));
+  KG_RETURN_NOT_OK(FlushRegion(&offsets_region_));
+  ++array_index_;
+  stage_ = Stage::kGraphOpen;
+  return status_;
+}
+
+Status SnapshotStreamWriter::BeginArray(Stage stage, int which,
+                                        const char* what,
+                                        uint64_t element_count,
+                                        size_t element_bytes) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kGraphOpen, what));
+  if (array_index_ != which) {
+    status_ = Status::InvalidArgument(StrFormat(
+        "snapshot stream: %s called out of the graph array order", what));
+    return status_;
+  }
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &element_count, sizeof(element_count)));
+  cursor_ += sizeof(element_count);
+  blob_region_ = MakeRegion(element_count * element_bytes);
+  expected_elems_ = element_count;
+  appended_elems_ = 0;
+  stage_ = stage;
+  return status_;
+}
+
+Status SnapshotStreamWriter::EndArray(Stage stage, const char* what) {
+  KG_RETURN_NOT_OK(CheckStage(stage, what));
+  if (appended_elems_ != expected_elems_) {
+    status_ = Status::InvalidArgument(StrFormat(
+        "snapshot stream: %s before the declared element count was reached",
+        what));
+    return status_;
+  }
+  KG_RETURN_NOT_OK(FlushRegion(&blob_region_));
+  ++array_index_;
+  stage_ = Stage::kGraphOpen;
+  return status_;
+}
+
+Status SnapshotStreamWriter::BeginNodeTypes(uint64_t num_nodes) {
+  return BeginArray(Stage::kNodeTypes, kArrayNodeTypes, "BeginNodeTypes",
+                    num_nodes, sizeof(TypeId));
+}
+
+Status SnapshotStreamWriter::AppendNodeType(TypeId type) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kNodeTypes, "AppendNodeType"));
+  KG_RETURN_NOT_OK(RegionWrite(&blob_region_, &type, sizeof(type)));
+  ++appended_elems_;
+  return status_;
+}
+
+Status SnapshotStreamWriter::EndNodeTypes() {
+  return EndArray(Stage::kNodeTypes, "EndNodeTypes");
+}
+
+Status SnapshotStreamWriter::BeginTriples(uint64_t num_triples) {
+  return BeginArray(Stage::kTriples, kArrayTriples, "BeginTriples",
+                    num_triples, sizeof(Triple));
+}
+
+Status SnapshotStreamWriter::AppendTriple(const Triple& triple) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kTriples, "AppendTriple"));
+  KG_RETURN_NOT_OK(RegionWrite(&blob_region_, &triple, sizeof(triple)));
+  ++appended_elems_;
+  return status_;
+}
+
+Status SnapshotStreamWriter::EndTriples() {
+  return EndArray(Stage::kTriples, "EndTriples");
+}
+
+Status SnapshotStreamWriter::BeginAdjOffsets(uint64_t num_nodes) {
+  return BeginArray(Stage::kAdjOffsets, kArrayAdjOffsets, "BeginAdjOffsets",
+                    num_nodes + 1, sizeof(uint64_t));
+}
+
+Status SnapshotStreamWriter::AppendAdjOffset(uint64_t offset) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kAdjOffsets, "AppendAdjOffset"));
+  KG_RETURN_NOT_OK(WriteScalarU64(&blob_region_, offset));
+  ++appended_elems_;
+  return status_;
+}
+
+Status SnapshotStreamWriter::EndAdjOffsets() {
+  return EndArray(Stage::kAdjOffsets, "EndAdjOffsets");
+}
+
+Status SnapshotStreamWriter::BeginAdjacency(uint64_t num_entries) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kGraphOpen, "BeginAdjacency"));
+  if (array_index_ != kArrayAdjacency) {
+    status_ = Status::InvalidArgument(
+        "snapshot stream: BeginAdjacency called out of the graph array "
+        "order");
+    return status_;
+  }
+  // Three parallel WriteVector regions (neighbors, predicates, forward),
+  // filled together by AppendAdjEntry.
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &num_entries, sizeof(num_entries)));
+  cursor_ += sizeof(num_entries);
+  blob_region_ = MakeRegion(num_entries * sizeof(NodeId));
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &num_entries, sizeof(num_entries)));
+  cursor_ += sizeof(num_entries);
+  preds_region_ = MakeRegion(num_entries * sizeof(PredicateId));
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &num_entries, sizeof(num_entries)));
+  cursor_ += sizeof(num_entries);
+  flags_region_ = MakeRegion(num_entries * sizeof(uint8_t));
+  expected_elems_ = num_entries;
+  appended_elems_ = 0;
+  stage_ = Stage::kAdjacency;
+  return status_;
+}
+
+Status SnapshotStreamWriter::AppendAdjEntry(const AdjEntry& entry) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kAdjacency, "AppendAdjEntry"));
+  KG_RETURN_NOT_OK(
+      RegionWrite(&blob_region_, &entry.neighbor, sizeof(entry.neighbor)));
+  KG_RETURN_NOT_OK(
+      RegionWrite(&preds_region_, &entry.predicate, sizeof(entry.predicate)));
+  const uint8_t forward = entry.forward ? 1 : 0;
+  KG_RETURN_NOT_OK(RegionWrite(&flags_region_, &forward, sizeof(forward)));
+  ++appended_elems_;
+  return status_;
+}
+
+Status SnapshotStreamWriter::EndAdjacency() {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kAdjacency, "EndAdjacency"));
+  if (appended_elems_ != expected_elems_) {
+    status_ = Status::InvalidArgument(
+        "snapshot stream: EndAdjacency before the declared entry count was "
+        "reached");
+    return status_;
+  }
+  KG_RETURN_NOT_OK(FlushRegion(&blob_region_));
+  KG_RETURN_NOT_OK(FlushRegion(&preds_region_));
+  KG_RETURN_NOT_OK(FlushRegion(&flags_region_));
+  ++array_index_;
+  stage_ = Stage::kGraphOpen;
+  return status_;
+}
+
+Status SnapshotStreamWriter::BeginTypeOffsets(uint64_t num_types) {
+  return BeginArray(Stage::kTypeOffsets, kArrayTypeOffsets,
+                    "BeginTypeOffsets", num_types + 1, sizeof(uint64_t));
+}
+
+Status SnapshotStreamWriter::AppendTypeOffset(uint64_t offset) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kTypeOffsets, "AppendTypeOffset"));
+  KG_RETURN_NOT_OK(WriteScalarU64(&blob_region_, offset));
+  ++appended_elems_;
+  return status_;
+}
+
+Status SnapshotStreamWriter::EndTypeOffsets() {
+  return EndArray(Stage::kTypeOffsets, "EndTypeOffsets");
+}
+
+Status SnapshotStreamWriter::BeginTypeMembers(uint64_t num_members) {
+  return BeginArray(Stage::kTypeMembers, kArrayTypeMembers,
+                    "BeginTypeMembers", num_members, sizeof(NodeId));
+}
+
+Status SnapshotStreamWriter::AppendTypeMember(NodeId node) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kTypeMembers, "AppendTypeMember"));
+  KG_RETURN_NOT_OK(RegionWrite(&blob_region_, &node, sizeof(node)));
+  ++appended_elems_;
+  return status_;
+}
+
+Status SnapshotStreamWriter::EndTypeMembers() {
+  return EndArray(Stage::kTypeMembers, "EndTypeMembers");
+}
+
+Status SnapshotStreamWriter::EndGraphSection() {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kGraphOpen, "EndGraphSection"));
+  if (array_index_ != kArrayCount) {
+    status_ = Status::InvalidArgument(
+        "snapshot stream: EndGraphSection with graph arrays missing");
+    return status_;
+  }
+  const uint64_t body_len = cursor_ - graph_body_start_;
+  KG_RETURN_NOT_OK(WriteAt(graph_len_slot_, &body_len, sizeof(body_len)));
+  stage_ = Stage::kGraphDone;
+  return status_;
+}
+
+Status SnapshotStreamWriter::WriteWholeSection(uint32_t id,
+                                               std::string_view body) {
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &id, sizeof(id)));
+  cursor_ += sizeof(id);
+  const uint64_t len = body.size();
+  KG_RETURN_NOT_OK(WriteAt(cursor_, &len, sizeof(len)));
+  cursor_ += sizeof(len);
+  KG_RETURN_NOT_OK(WriteAt(cursor_, body.data(), body.size()));
+  cursor_ += body.size();
+  return status_;
+}
+
+Status SnapshotStreamWriter::WriteLibrarySection(
+    const TransformationLibrary& library) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kGraphDone, "WriteLibrarySection"));
+  KG_RETURN_NOT_OK(WriteWholeSection(
+      kSectionLibrary, snapshot_internal::EncodeLibraryBody(library)));
+  stage_ = Stage::kLibraryDone;
+  return status_;
+}
+
+Status SnapshotStreamWriter::WriteSpaceSection(const PredicateSpace& space) {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kLibraryDone, "WriteSpaceSection"));
+  KG_RETURN_NOT_OK(WriteWholeSection(
+      kSectionSpace, snapshot_internal::EncodeSpaceBody(space)));
+  stage_ = Stage::kSpaceDone;
+  return status_;
+}
+
+Status SnapshotStreamWriter::Finish() {
+  KG_RETURN_NOT_OK(CheckStage(Stage::kSpaceDone, "Finish"));
+  const uint64_t payload_len = cursor_ - payload_start_;
+  KG_RETURN_NOT_OK(
+      WriteAt(payload_len_slot_, &payload_len, sizeof(payload_len)));
+  file_.flush();
+  if (!file_.good()) {
+    status_ = Status::IOError("snapshot stream: flush failed");
+    return status_;
+  }
+
+  // CRC the payload by re-reading it in chunks; the writer never holds it.
+  uint32_t crc = 0;
+  std::vector<char> chunk(buffer_cap_);
+  file_.seekg(static_cast<std::streamoff>(payload_start_));
+  uint64_t left = payload_len;
+  while (left > 0) {
+    const size_t want =
+        static_cast<size_t>(std::min<uint64_t>(left, chunk.size()));
+    file_.read(chunk.data(), static_cast<std::streamsize>(want));
+    if (file_.gcount() != static_cast<std::streamsize>(want)) {
+      status_ = Status::IOError("snapshot stream: payload re-read failed");
+      return status_;
+    }
+    crc = Crc32Update(crc, chunk.data(), want);
+    left -= want;
+  }
+  file_.clear();  // re-reading may have set eof
+  KG_RETURN_NOT_OK(WriteAt(checksum_slot_, &crc, sizeof(crc)));
+  file_.flush();
+  file_.close();
+  if (file_.fail()) {
+    status_ = Status::IOError("snapshot stream: close failed");
+    return status_;
+  }
+  stats_.file_bytes = cursor_;
+  stage_ = Stage::kFinished;
+  return status_;
+}
+
+Result<bool> VerifySnapshotFileChecksum(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  char header[kHeaderBytes];
+  file.read(header, kHeaderBytes);
+  if (file.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    return false;
+  }
+  if (std::string_view(header, kKgPackMagic.size()) != kKgPackMagic) {
+    return false;
+  }
+  uint32_t version = 0, expected_crc = 0;
+  uint64_t payload_len = 0;
+  std::memcpy(&version, header + 4, sizeof(version));
+  std::memcpy(&payload_len, header + 8, sizeof(payload_len));
+  std::memcpy(&expected_crc, header + 16, sizeof(expected_crc));
+  if (version != kKgPackVersion) return false;
+
+  uint32_t crc = 0;
+  uint64_t seen = 0;
+  std::vector<char> chunk(1 << 20);
+  while (true) {
+    file.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const std::streamsize got = file.gcount();
+    if (got <= 0) break;
+    crc = Crc32Update(crc, chunk.data(), static_cast<size_t>(got));
+    seen += static_cast<uint64_t>(got);
+    if (file.eof()) break;
+  }
+  return seen == payload_len && crc == expected_crc;
+}
+
+}  // namespace kgsearch

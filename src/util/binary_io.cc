@@ -22,13 +22,19 @@ std::array<uint32_t, 256> MakeCrc32Table() {
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size) {
+  return Crc32Update(0, data, size);
+}
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
   static const std::array<uint32_t, 256> table = MakeCrc32Table();
   const auto* bytes = static_cast<const unsigned char*>(data);
-  uint32_t crc = 0xFFFFFFFFu;
+  // The running value is stored finalized (xor-out applied), so chaining
+  // from a previous return value means undoing the xor, folding, redoing it.
+  uint32_t state = crc ^ 0xFFFFFFFFu;
   for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
   }
-  return crc ^ 0xFFFFFFFFu;
+  return state ^ 0xFFFFFFFFu;
 }
 
 }  // namespace kgsearch

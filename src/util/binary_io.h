@@ -34,6 +34,13 @@ inline uint32_t Crc32(std::string_view bytes) {
   return Crc32(bytes.data(), bytes.size());
 }
 
+/// Incremental CRC-32 over chunked input: start from 0, fold each chunk in
+/// order. Crc32Update over any chunking of a byte stream equals the
+/// one-shot Crc32 of the whole stream, so writers that never hold the full
+/// payload (kg/snapshot_stream.h) produce header checksums byte-identical
+/// to the in-memory encoder's.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
 /// Append-only byte buffer with typed little-endian writers.
 class BinaryWriter {
  public:

@@ -1,8 +1,18 @@
-// Seeded random number generator with convenience samplers.
+// Seeded random number generators with convenience samplers.
 //
 // All stochastic components (generators, TransE negative sampling, noise
 // injection, simulated annotators) take an explicit Rng so experiments are
 // reproducible from a single seed.
+//
+// Portability contract: every sampler is implemented here from raw 64-bit
+// engine output with fully specified arithmetic — none of the
+// implementation-defined std::*_distribution adaptors are used — so a seed
+// produces the same sample stream on every standard library. The integer
+// samplers (UniformInt, UniformIndex, Shuffle, SampleIndices) and
+// UniformReal/Bernoulli are bit-exact everywhere; Normal and Zipf
+// additionally call libm (sqrt/log/pow), which is bit-exact on any
+// correctly-rounded libm (glibc, llvm-libm) — the environments the golden
+// hash tests pin.
 #ifndef KGSEARCH_UTIL_RNG_H_
 #define KGSEARCH_UTIL_RNG_H_
 
@@ -15,16 +25,68 @@
 
 namespace kgsearch {
 
-/// Thin wrapper over std::mt19937_64 with common sampling helpers.
-class Rng {
+/// SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+/// generators"): 3 multiplies + shifts per draw, full 64-bit period, and a
+/// one-word state that is cheap to construct — the engine of choice when a
+/// generator needs millions of independent per-item streams (one seeded per
+/// node id) rather than one long stream.
+class SplitMix64 {
  public:
-  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+  using result_type = uint64_t;
 
-  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  explicit SplitMix64(uint64_t seed = 42) : state_(seed) {}
+
+  uint64_t operator()() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return UINT64_MAX; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Mixes a stream id into a base seed (SplitMix64 finalizer over the XOR),
+/// giving statistically independent child seeds for per-item streams:
+/// FastRng(MixSeed(seed, node_id)).
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed ^ (stream + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Sampler layer over a raw 64-bit engine. The engine only supplies
+/// uniform u64 words; every distribution is derived here with portable
+/// arithmetic (see the header comment for the exact portability contract).
+template <typename Engine>
+class BasicRng {
+ public:
+  static_assert(Engine::min() == 0 && Engine::max() == UINT64_MAX,
+                "BasicRng requires a full-range 64-bit engine");
+
+  explicit BasicRng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// One raw engine word, uniform over [0, 2^64).
+  uint64_t NextU64() { return engine_(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi. Unbiased:
+  /// draws are rejected below the (2^64 mod range) threshold, so every
+  /// value is exactly equally likely.
   int64_t UniformInt(int64_t lo, int64_t hi) {
     KG_CHECK(lo <= hi);
-    std::uniform_int_distribution<int64_t> dist(lo, hi);
-    return dist(engine_);
+    const uint64_t range =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (range == 0) return static_cast<int64_t>(NextU64());  // full domain
+    // (2^64 mod range) computed in 64 bits as ((0 - range) mod range).
+    const uint64_t threshold = (0 - range) % range;
+    uint64_t r = NextU64();
+    while (r < threshold) r = NextU64();
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + r % range);
   }
 
   /// Uniform index in [0, n). Requires n > 0.
@@ -33,16 +95,26 @@ class Rng {
     return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
   }
 
-  /// Uniform real in [lo, hi).
+  /// Uniform real in [lo, hi): the top 53 engine bits scaled by 2^-53 give
+  /// a uniform double in [0, 1) with every representable step equally
+  /// likely, then affinely mapped.
   double UniformReal(double lo = 0.0, double hi = 1.0) {
-    std::uniform_real_distribution<double> dist(lo, hi);
-    return dist(engine_);
+    const double unit =
+        static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+    return lo + (hi - lo) * unit;
   }
 
-  /// Gaussian sample.
+  /// Gaussian sample via the Marsaglia polar method. No spare is cached, so
+  /// the draw count per call depends only on the engine stream, never on
+  /// call history.
   double Normal(double mean = 0.0, double stddev = 1.0) {
-    std::normal_distribution<double> dist(mean, stddev);
-    return dist(engine_);
+    double v1, v2, s;
+    do {
+      v1 = UniformReal(-1.0, 1.0);
+      v2 = UniformReal(-1.0, 1.0);
+      s = v1 * v1 + v2 * v2;
+    } while (s >= 1.0 || s == 0.0);
+    return mean + stddev * v1 * std::sqrt(-2.0 * std::log(s) / s);
   }
 
   /// Bernoulli trial with success probability p.
@@ -65,6 +137,22 @@ class Rng {
     }
     size_t k = static_cast<size_t>(x);
     return k >= n ? n - 1 : k;
+  }
+
+  /// Bounded-Pareto sample in [lo, hi]: P(X >= x) ~ x^-alpha truncated to
+  /// the bound, the classic heavy-tail degree model. Requires 0 < lo <= hi
+  /// and alpha > 0.
+  size_t BoundedPareto(size_t lo, size_t hi, double alpha) {
+    KG_CHECK(lo > 0 && lo <= hi && alpha > 0.0);
+    if (lo == hi) return lo;
+    const double l = static_cast<double>(lo);
+    const double h = static_cast<double>(hi) + 1.0;  // sample in [lo, hi+1)
+    const double u = UniformReal();
+    const double la = std::pow(l, -alpha), ha = std::pow(h, -alpha);
+    const double x = std::pow(la - u * (la - ha), -1.0 / alpha);
+    size_t k = static_cast<size_t>(x);
+    if (k < lo) k = lo;
+    return k > hi ? hi : k;
   }
 
   /// Fisher-Yates shuffle.
@@ -104,11 +192,16 @@ class Rng {
     return result;
   }
 
-  std::mt19937_64& engine() { return engine_; }
-
  private:
-  std::mt19937_64 engine_;
+  Engine engine_;
 };
+
+/// The default generator: mt19937_64's output sequence per seed is fully
+/// specified by the C++ standard, so existing seeds keep their streams.
+using Rng = BasicRng<std::mt19937_64>;
+
+/// Cheap-to-construct generator for per-item streams (one per graph node).
+using FastRng = BasicRng<SplitMix64>;
 
 }  // namespace kgsearch
 

@@ -1,0 +1,129 @@
+// Insight workload contract: deterministic index-addressed construction,
+// structurally valid queries, anchors that exist in the generated graph,
+// and alias noise drawn from the generator's catalogs.
+#include "gen/insight_workload.h"
+
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace kgsearch {
+namespace {
+
+ScaleKgSpec SmallSpec() {
+  ScaleKgSpec spec;
+  spec.num_nodes = 1500;
+  spec.num_communities = 6;
+  spec.num_domains = 3;
+  return spec;
+}
+
+TEST(InsightWorkloadTest, ConstructionIsDeterministic) {
+  const InsightProfile profile = MakeInsightProfile(SmallSpec());
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(MakeBridgeInsight(profile, v).query,
+              MakeBridgeInsight(profile, v).query);
+    EXPECT_EQ(MakePathInsight(profile, v).query,
+              MakePathInsight(profile, v).query);
+    EXPECT_EQ(MakeNeighborhoodInsight(profile, v).query,
+              MakeNeighborhoodInsight(profile, v).query);
+  }
+}
+
+TEST(InsightWorkloadTest, AllFamiliesProduceValidQueries) {
+  const InsightProfile profile = MakeInsightProfile(SmallSpec());
+  for (uint64_t v = 0; v < 64; ++v) {
+    for (const InsightQuery& q :
+         {MakeBridgeInsight(profile, v), MakePathInsight(profile, v),
+          MakeNeighborhoodInsight(profile, v)}) {
+      EXPECT_TRUE(q.query.Validate().ok())
+          << InsightFamilyName(q.family) << " variant " << v << ": "
+          << q.query.Validate().ToString();
+    }
+  }
+}
+
+TEST(InsightWorkloadTest, BridgeAnchorsExistInGeneratedGraph) {
+  const ScaleKgSpec spec = SmallSpec();
+  const InsightProfile profile = MakeInsightProfile(spec);
+  auto built = BuildScaleKgInMemory(spec);
+  ASSERT_TRUE(built.ok());
+  const KnowledgeGraph& g = *built.ValueOrDie().graph;
+
+  for (uint64_t v = 0; v < 32; ++v) {
+    const InsightQuery q = MakeBridgeInsight(profile, v);
+    ASSERT_EQ(q.query.NumNodes(), 3u);
+    const QueryNode& own_hub = q.query.node(1);
+    const QueryNode& far_hub = q.query.node(2);
+    const NodeId a = g.FindNode(own_hub.name);
+    const NodeId b = g.FindNode(far_hub.name);
+    ASSERT_NE(a, kInvalidNode);
+    ASSERT_NE(b, kInvalidNode);
+    EXPECT_EQ(g.NodeTypeName(a), own_hub.type);
+    EXPECT_EQ(g.NodeTypeName(b), far_hub.type);
+    // The anchoring ring edge is emitted by construction.
+    const PredicateId p = g.FindPredicate(q.query.edge(1).predicate);
+    ASSERT_NE(p, kInvalidSymbol);
+    EXPECT_TRUE(g.HasTriple(a, p, b))
+        << own_hub.name << " --" << q.query.edge(1).predicate << "--> "
+        << far_hub.name;
+  }
+}
+
+TEST(InsightWorkloadTest, AliasNoiseUsesCatalogLabels) {
+  const InsightProfile profile = MakeInsightProfile(SmallSpec());
+  FastRng rng(MixSeed(1, 2));
+  size_t applied = 0;
+  for (uint64_t v = 0; v < 32; ++v) {
+    InsightQuery q = MakeBridgeInsight(profile, v);
+    const QueryGraph original = q.query;
+    if (!AddInsightAliasNoise(profile, &rng, &q.query)) continue;
+    ++applied;
+    EXPECT_NE(q.query, original);
+    // Exactly one node label changed; edges are untouched.
+    ASSERT_EQ(q.query.NumNodes(), original.NumNodes());
+    ASSERT_EQ(q.query.NumEdges(), original.NumEdges());
+    size_t diffs = 0;
+    for (size_t i = 0; i < original.NumNodes(); ++i) {
+      const QueryNode& before = original.node(static_cast<int>(i));
+      const QueryNode& after = q.query.node(static_cast<int>(i));
+      if (!(before == after)) {
+        ++diffs;
+        // The new label must come from one of the alias catalogs.
+        const bool name_swap = before.name != after.name;
+        const std::string& alias = name_swap ? after.name : after.type;
+        EXPECT_TRUE(alias.find("_aka") != std::string::npos) << alias;
+      }
+    }
+    EXPECT_EQ(diffs, 1u);
+  }
+  EXPECT_GT(applied, 24u);  // noise always finds a candidate here
+}
+
+TEST(InsightWorkloadTest, MixIsDeterministicAndCoversFamilies) {
+  const InsightProfile profile = MakeInsightProfile(SmallSpec());
+  InsightMixOptions options;
+  options.num_queries = 60;
+  options.alias_noise_fraction = 0.3;
+  const auto mix_a = BuildInsightMix(profile, options);
+  const auto mix_b = BuildInsightMix(profile, options);
+  ASSERT_EQ(mix_a.size(), options.num_queries);
+  ASSERT_EQ(mix_b.size(), options.num_queries);
+
+  std::set<InsightFamily> families;
+  size_t noised = 0;
+  for (size_t i = 0; i < mix_a.size(); ++i) {
+    EXPECT_EQ(mix_a[i].query, mix_b[i].query);
+    EXPECT_TRUE(mix_a[i].query.Validate().ok());
+    families.insert(mix_a[i].family);
+    noised += mix_a[i].alias_noised;
+  }
+  EXPECT_EQ(families.size(), 3u);
+  // ~18 expected at 0.3; loose 3-sigma band.
+  EXPECT_GT(noised, 7u);
+  EXPECT_LT(noised, 32u);
+}
+
+}  // namespace
+}  // namespace kgsearch

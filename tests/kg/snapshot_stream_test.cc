@@ -1,0 +1,212 @@
+// SnapshotStreamWriter contract: byte-identical output to EncodeSnapshot,
+// strict declared-size enforcement, and the chunked checksum verifier.
+#include "kg/snapshot_stream.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "embedding/vector_math.h"
+#include "gtest/gtest.h"
+#include "kg/snapshot.h"
+#include "util/rng.h"
+
+namespace kgsearch {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// A small finalized dataset with every feature the format carries:
+/// multiple types, shared predicates, aliases, and a trained-shaped space.
+struct World {
+  KnowledgeGraph graph;
+  std::unique_ptr<PredicateSpace> space;
+  TransformationLibrary library;
+};
+
+World MakeWorld() {
+  World w;
+  const NodeId a = w.graph.AddNode("alpha", "City");
+  const NodeId b = w.graph.AddNode("beta", "City");
+  const NodeId c = w.graph.AddNode("gamma", "Person");
+  const NodeId d = w.graph.AddNode("delta", "Person");
+  w.graph.AddEdge(c, "lives_in", a);
+  w.graph.AddEdge(d, "lives_in", b);
+  w.graph.AddEdge(c, "knows", d);
+  w.graph.AddEdge(a, "twinned_with", b);
+  w.graph.AddEdge(d, "born_in", a);
+  w.graph.Finalize();
+
+  Rng rng(7);
+  std::vector<FloatVec> vectors;
+  std::vector<std::string> names;
+  for (PredicateId p = 0; p < w.graph.NumPredicates(); ++p) {
+    vectors.push_back(RandomUnitVec(8, &rng));
+    names.emplace_back(w.graph.PredicateName(p));
+  }
+  w.space = std::make_unique<PredicateSpace>(std::move(vectors),
+                                             std::move(names));
+
+  w.library.AddTypeSynonym("metropolis", "City");
+  w.library.AddTypeAbbreviation("psn", "Person");
+  w.library.AddNameSynonym("first", "alpha");
+  return w;
+}
+
+/// Streams a finalized dataset through the writer exactly as a generator
+/// would: dictionaries, arrays, then the whole library/space sections.
+Status StreamDataset(const World& w, const std::string& path,
+                     size_t buffer_bytes) {
+  auto opened = SnapshotStreamWriter::Open(path, buffer_bytes);
+  KG_RETURN_NOT_OK(opened.status());
+  SnapshotStreamWriter& writer = *opened.ValueOrDie();
+  const KnowledgeGraph& g = w.graph;
+
+  KG_RETURN_NOT_OK(writer.BeginGraphSection());
+  for (const Dictionary* dict :
+       {&g.names_dict(), &g.types_dict(), &g.predicates_dict()}) {
+    KG_RETURN_NOT_OK(
+        writer.BeginDictionary(dict->payload_bytes(), dict->size()));
+    for (SymbolId id = 0; id < dict->size(); ++id) {
+      KG_RETURN_NOT_OK(writer.AppendSymbol(dict->Get(id)));
+    }
+    KG_RETURN_NOT_OK(writer.EndDictionary());
+  }
+  KG_RETURN_NOT_OK(writer.BeginNodeTypes(g.NumNodes()));
+  for (TypeId t : g.node_types()) KG_RETURN_NOT_OK(writer.AppendNodeType(t));
+  KG_RETURN_NOT_OK(writer.EndNodeTypes());
+  KG_RETURN_NOT_OK(writer.BeginTriples(g.NumEdges()));
+  for (const Triple& t : g.triples()) KG_RETURN_NOT_OK(writer.AppendTriple(t));
+  KG_RETURN_NOT_OK(writer.EndTriples());
+  KG_RETURN_NOT_OK(writer.BeginAdjOffsets(g.NumNodes()));
+  for (uint64_t off : g.adj_offsets()) {
+    KG_RETURN_NOT_OK(writer.AppendAdjOffset(off));
+  }
+  KG_RETURN_NOT_OK(writer.EndAdjOffsets());
+  KG_RETURN_NOT_OK(writer.BeginAdjacency(g.adjacency().size()));
+  for (const AdjEntry& e : g.adjacency()) {
+    KG_RETURN_NOT_OK(writer.AppendAdjEntry(e));
+  }
+  KG_RETURN_NOT_OK(writer.EndAdjacency());
+  KG_RETURN_NOT_OK(writer.BeginTypeOffsets(g.NumTypes()));
+  for (uint64_t off : g.type_offsets()) {
+    KG_RETURN_NOT_OK(writer.AppendTypeOffset(off));
+  }
+  KG_RETURN_NOT_OK(writer.EndTypeOffsets());
+  KG_RETURN_NOT_OK(writer.BeginTypeMembers(g.NumNodes()));
+  for (TypeId t = 0; t < g.NumTypes(); ++t) {
+    for (NodeId u : g.NodesOfType(t)) {
+      KG_RETURN_NOT_OK(writer.AppendTypeMember(u));
+    }
+  }
+  KG_RETURN_NOT_OK(writer.EndTypeMembers());
+  KG_RETURN_NOT_OK(writer.EndGraphSection());
+  KG_RETURN_NOT_OK(writer.WriteLibrarySection(w.library));
+  KG_RETURN_NOT_OK(writer.WriteSpaceSection(*w.space));
+  return writer.Finish();
+}
+
+TEST(SnapshotStreamTest, BytesIdenticalToEncodeSnapshot) {
+  const World w = MakeWorld();
+  auto encoded = EncodeSnapshot(w.graph, *w.space, w.library);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+
+  const std::string path = TempPath("stream_identical.kgpack");
+  ASSERT_TRUE(StreamDataset(w, path, 1 << 20).ok());
+  EXPECT_EQ(ReadFileBytes(path), encoded.ValueOrDie());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStreamTest, BufferSizeNeverChangesBytes) {
+  const World w = MakeWorld();
+  const std::string big = TempPath("stream_big_buffer.kgpack");
+  const std::string tiny = TempPath("stream_tiny_buffer.kgpack");
+  ASSERT_TRUE(StreamDataset(w, big, 1 << 20).ok());
+  // A 1-byte buffer forces a flush on every append in every region.
+  ASSERT_TRUE(StreamDataset(w, tiny, 1).ok());
+  EXPECT_EQ(ReadFileBytes(big), ReadFileBytes(tiny));
+  std::remove(big.c_str());
+  std::remove(tiny.c_str());
+}
+
+TEST(SnapshotStreamTest, StreamedFileDecodesAndVerifies) {
+  const World w = MakeWorld();
+  const std::string path = TempPath("stream_decodes.kgpack");
+  ASSERT_TRUE(StreamDataset(w, path, 4096).ok());
+
+  auto verified = VerifySnapshotFileChecksum(path);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_TRUE(verified.ValueOrDie());
+
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.ValueOrDie().graph->NumNodes(), w.graph.NumNodes());
+  EXPECT_EQ(loaded.ValueOrDie().graph->NumEdges(), w.graph.NumEdges());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStreamTest, CorruptionFailsVerification) {
+  const World w = MakeWorld();
+  const std::string path = TempPath("stream_corrupt.kgpack");
+  ASSERT_TRUE(StreamDataset(w, path, 4096).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(64);
+    const char flip = '\xFF';
+    f.write(&flip, 1);
+  }
+  auto verified = VerifySnapshotFileChecksum(path);
+  ASSERT_TRUE(verified.ok());
+  EXPECT_FALSE(verified.ValueOrDie());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStreamTest, OverAppendingDeclaredArrayFails) {
+  const std::string path = TempPath("stream_overappend.kgpack");
+  auto opened = SnapshotStreamWriter::Open(path, 4096);
+  ASSERT_TRUE(opened.ok());
+  SnapshotStreamWriter& writer = *opened.ValueOrDie();
+  ASSERT_TRUE(writer.BeginGraphSection().ok());
+  ASSERT_TRUE(writer.BeginDictionary(2, 1).ok());
+  ASSERT_TRUE(writer.AppendSymbol("ab").ok());
+  EXPECT_FALSE(writer.AppendSymbol("c").ok());
+  // The writer is sticky after the first error.
+  EXPECT_FALSE(writer.Finish().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStreamTest, UnderFilledArrayFailsAtEnd) {
+  const std::string path = TempPath("stream_underfill.kgpack");
+  auto opened = SnapshotStreamWriter::Open(path, 4096);
+  ASSERT_TRUE(opened.ok());
+  SnapshotStreamWriter& writer = *opened.ValueOrDie();
+  ASSERT_TRUE(writer.BeginGraphSection().ok());
+  ASSERT_TRUE(writer.BeginDictionary(4, 2).ok());
+  ASSERT_TRUE(writer.AppendSymbol("ab").ok());
+  EXPECT_FALSE(writer.EndDictionary().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotStreamTest, ArraysMustFollowCanonicalOrder) {
+  const std::string path = TempPath("stream_order.kgpack");
+  auto opened = SnapshotStreamWriter::Open(path, 4096);
+  ASSERT_TRUE(opened.ok());
+  SnapshotStreamWriter& writer = *opened.ValueOrDie();
+  ASSERT_TRUE(writer.BeginGraphSection().ok());
+  // Triples before the three dictionaries violates the kgpack layout.
+  EXPECT_FALSE(writer.BeginTriples(1).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,122 @@
+// Insight-workload randomized differential suite (ctest label: randomized):
+// at 10k and 100k nodes, generate the scale dataset twice — streamed to a
+// kgpack file and built in memory — then assert the serving stack over the
+// LOADED snapshot answers every insight query bit-identically to a serial
+// SgqEngine over the in-memory build, cold caches and warm. This pins two
+// acceptance contracts at once: the streamed snapshot serves exactly like
+// the dataset it encodes, and the concurrent service is answer-stable on
+// scale-generated graphs.
+//
+// Under sanitizers the 100k case is dropped (compile-time detection): the
+// instrumented build is 10-20x slower and the 10k case already exercises
+// every code path.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/insight_workload.h"
+#include "gen/scale_kg.h"
+#include "kg/snapshot.h"
+#include "service/query_service.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define KGSEARCH_UNDER_SANITIZER 1
+#endif
+#if !defined(KGSEARCH_UNDER_SANITIZER) && defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define KGSEARCH_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace kgsearch {
+namespace {
+
+std::vector<std::pair<NodeId, double>> Fingerprint(const QueryResult& r) {
+  std::vector<std::pair<NodeId, double>> fp;
+  fp.reserve(r.matches.size());
+  for (const FinalMatch& m : r.matches) {
+    fp.emplace_back(m.pivot_match, m.score);
+  }
+  return fp;
+}
+
+void RunScale(uint64_t num_nodes, uint64_t num_queries) {
+  SCOPED_TRACE("scale " + std::to_string(num_nodes));
+  const ScaleKgSpec spec = ScaleSpecFor(num_nodes);
+
+  // Served side: the streamed kgpack file, loaded back.
+  const std::string path = testing::TempDir() + "/insight_diff_" +
+                           std::to_string(num_nodes) + ".kgpack";
+  auto report = GenerateScaleKgToFile(spec, path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto loaded = LoadSnapshot(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const DatasetSnapshot& served = loaded.ValueOrDie();
+
+  // Reference side: the independent in-memory build of the same spec.
+  auto built = BuildScaleKgInMemory(spec);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const DatasetSnapshot& reference_ds = built.ValueOrDie();
+
+  SgqEngine direct(reference_ds.graph.get(), reference_ds.space.get(),
+                   &reference_ds.library);
+  QueryServiceOptions soptions;
+  soptions.num_threads = 4;
+  QueryService service(served.graph.get(), served.space.get(),
+                       &served.library, soptions);
+
+  const InsightProfile profile = MakeInsightProfile(spec);
+  InsightMixOptions mix_options;
+  mix_options.num_queries = num_queries;
+  mix_options.seed = 11;
+  const std::vector<InsightQuery> mix =
+      BuildInsightMix(profile, mix_options);
+
+  for (const InsightQuery& iq : mix) {
+    SCOPED_TRACE(iq.description);
+    EngineOptions options;
+    options.k = 10;
+    EngineOptions serial = options;
+    serial.threads = 1;
+    auto expected = direct.Query(iq.query, serial);
+
+    auto cold = service.Query(iq.query, options);
+    ASSERT_EQ(cold.ok(), expected.ok())
+        << (cold.ok() ? expected.status() : cold.status()).ToString();
+    auto warm = service.Query(iq.query, options);
+    ASSERT_EQ(warm.ok(), expected.ok());
+
+    if (!expected.ok()) {
+      EXPECT_EQ(cold.status().code(), expected.status().code());
+      EXPECT_EQ(warm.status().code(), expected.status().code());
+      continue;
+    }
+    const auto fp = Fingerprint(expected.ValueOrDie());
+    EXPECT_EQ(Fingerprint(cold.ValueOrDie()), fp) << "cold";
+    EXPECT_EQ(Fingerprint(warm.ValueOrDie()), fp) << "warm";
+  }
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.queries_rejected, 0u);
+  EXPECT_EQ(stats.queries_cancelled, 0u);
+  EXPECT_EQ(stats.queries_deadline_exceeded, 0u);
+}
+
+TEST(InsightRandomizedDifferentialTest, LoadedSnapshotMatchesSerialAt10k) {
+  RunScale(10'000, 18);
+}
+
+TEST(InsightRandomizedDifferentialTest, LoadedSnapshotMatchesSerialAt100k) {
+#ifdef KGSEARCH_UNDER_SANITIZER
+  GTEST_SKIP() << "100k differential case skipped under sanitizers; the "
+                  "10k case covers the same code paths";
+#else
+  RunScale(100'000, 9);
+#endif
+}
+
+}  // namespace
+}  // namespace kgsearch
