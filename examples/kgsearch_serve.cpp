@@ -1,0 +1,203 @@
+// kgsearch_serve: serve a knowledge graph over TCP, end to end from the
+// shell — a thin shell over src/server (TcpServer) and the public API
+// (KgSession). Argument parsing and signal handling live here; sockets,
+// framing, admission, and execution live in the libraries.
+//
+// Usage:
+//   kgsearch_serve --graph kg.nt|kg.tsv|kg.kgpack [--space f] [--library f]
+//                  [--train-transe] [--dataset NAME]
+//                  [--host 127.0.0.1] [--port 0] [--threads N]
+//                  [--max-in-flight N] [--max-queued N] [--honor-priority]
+//                  [--max-connections N]
+//
+// The wire protocol is newline-delimited JSON: one QueryRequest document
+// per line in, one QueryResponse (or error) document per line out, plus
+// "GET /healthz" and "GET /stats[/<dataset>]" verb lines. Try it with:
+//   printf 'GET /healthz\n' | nc 127.0.0.1 <port>
+//
+// By default wire clients are untrusted: "priority":"high" is clamped to
+// normal so self-promoted requests cannot bypass the admission limits
+// (--honor-priority restores the trusting in-process behavior). --port 0
+// binds an ephemeral port and prints the resolved one. SIGINT/SIGTERM
+// stop the server gracefully: in-flight queries are cancelled, every
+// connection is closed, all threads joined.
+#include <charconv>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+#include "api/session.h"
+#include "server/tcp_server.h"
+
+#include <poll.h>
+
+using namespace kgsearch;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+struct ServeOptions {
+  DatasetLoadOptions load;
+  std::string dataset = "default";
+  TcpServerOptions server;
+  KgSessionOptions session;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --graph FILE [--space FILE] [--library FILE]\n"
+      "          [--train-transe] [--dataset NAME] [--host ADDR]\n"
+      "          [--port N] [--threads N] [--max-in-flight N]\n"
+      "          [--max-queued N] [--honor-priority] [--max-connections N]\n",
+      argv0);
+  return 2;
+}
+
+/// Parses the whole string as a number; malformed flag values are a
+/// Status, not an uncaught std::sto* exception.
+template <typename T>
+Result<T> ParseNumber(std::string_view flag, const std::string& value) {
+  T out{};
+  auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    return Status::InvalidArgument(std::string(flag) +
+                                   ": invalid number '" + value + "'");
+  }
+  return out;
+}
+
+Result<ServeOptions> ParseArgs(int argc, char** argv) {
+  ServeOptions opts;
+  // Serving defaults differ from the in-process defaults: bounded
+  // admission (so overload rejects instead of queueing without limit) and
+  // clamped wire priority (so clients cannot self-promote past it).
+  opts.session.max_in_flight = 8;
+  opts.session.max_queued = 32;
+  opts.session.honor_request_priority = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(std::string(arg) + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    auto next_number = [&](auto* out) -> Status {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      auto n = ParseNumber<std::decay_t<decltype(*out)>>(arg,
+                                                         v.ValueOrDie());
+      KG_RETURN_NOT_OK(n.status());
+      *out = n.ValueOrDie();
+      return Status::OK();
+    };
+    if (arg == "--graph") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.load.graph_path = v.ValueOrDie();
+    } else if (arg == "--space") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.load.space_path = v.ValueOrDie();
+    } else if (arg == "--library") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.load.library_path = v.ValueOrDie();
+    } else if (arg == "--dataset") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.dataset = v.ValueOrDie();
+    } else if (arg == "--host") {
+      auto v = next();
+      KG_RETURN_NOT_OK(v.status());
+      opts.server.host = v.ValueOrDie();
+    } else if (arg == "--train-transe") {
+      opts.load.train_transe = true;
+    } else if (arg == "--honor-priority") {
+      opts.session.honor_request_priority = true;
+    } else if (arg == "--port") {
+      KG_RETURN_NOT_OK(next_number(&opts.server.port));
+    } else if (arg == "--threads") {
+      KG_RETURN_NOT_OK(next_number(&opts.session.num_threads));
+    } else if (arg == "--max-in-flight") {
+      KG_RETURN_NOT_OK(next_number(&opts.session.max_in_flight));
+    } else if (arg == "--max-queued") {
+      KG_RETURN_NOT_OK(next_number(&opts.session.max_queued));
+    } else if (arg == "--max-connections") {
+      KG_RETURN_NOT_OK(next_number(&opts.server.max_connections));
+    } else {
+      return Status::InvalidArgument("unknown flag: " + std::string(arg));
+    }
+  }
+  if (opts.load.graph_path.empty()) {
+    return Status::InvalidArgument("--graph is required");
+  }
+  return opts;
+}
+
+int Serve(const ServeOptions& opts) {
+  KgSession session(opts.session);
+  const bool from_snapshot = opts.load.graph_path.ends_with(".kgpack");
+  if (!from_snapshot &&
+      (opts.load.space_path.empty() || opts.load.train_transe)) {
+    std::fprintf(stderr, "training TransE on the loaded graph...\n");
+  }
+  StopWatch load_watch;
+  Status loaded = session.LoadDataset(opts.dataset, opts.load);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load dataset: %s\n",
+                 loaded.ToString().c_str());
+    return 1;
+  }
+  for (const DatasetInfo& info : session.ListDatasets()) {
+    std::fprintf(stderr,
+                 "loaded %zu nodes, %zu edges, %zu predicates in %.1f ms\n",
+                 info.nodes, info.edges, info.predicates,
+                 load_watch.ElapsedMillis());
+  }
+
+  TcpServer server(&session, opts.server);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serving dataset '%s' on %s:%u (threads=%zu, "
+               "max_in_flight=%zu, max_queued=%zu)\n",
+               opts.dataset.c_str(), opts.server.host.c_str(),
+               static_cast<unsigned>(server.port()),
+               session.num_threads(), opts.session.max_in_flight,
+               opts.session.max_queued);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop_requested) {
+    // poll() with no fds is an interruptible sleep: EINTR on a signal,
+    // so shutdown latency is bounded by the signal, not the timeout.
+    ::poll(nullptr, 0, 200);
+  }
+  std::fprintf(stderr, "stopping: cancelling in-flight queries...\n");
+  server.Stop();
+  std::fprintf(stderr, "served %llu connections\n",
+               static_cast<unsigned long long>(server.connections_accepted()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<ServeOptions> opts = ParseArgs(argc, argv);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "%s\n", opts.status().ToString().c_str());
+    return Usage(argv[0]);
+  }
+  return Serve(opts.ValueOrDie());
+}

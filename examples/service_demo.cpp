@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   stats.queries_deadline_exceeded),
               static_cast<unsigned long long>(stats.queries_cancelled));
-  std::printf("qps                %.1f over %.2fs uptime\n", stats.qps,
+  std::printf("qps (lifetime avg) %.1f over %.2fs uptime\n", stats.qps,
               stats.uptime_seconds);
   std::printf("latency            p50 %.2fms  p95 %.2fms  max %.2fms\n",
               stats.latency_p50_ms, stats.latency_p95_ms,

@@ -347,6 +347,15 @@ std::string EncodeQueryRequestJson(const QueryRequest& request) {
 }
 
 Result<QueryRequest> DecodeQueryRequestJson(std::string_view text) {
+  // Reject oversized documents before the parser touches them: the cap
+  // bounds parse work and allocations against hostile senders, and real
+  // requests are orders of magnitude smaller.
+  if (text.size() > kMaxWireRequestBytes) {
+    return Status::InvalidArgument(
+        StrFormat("request document of %zu bytes exceeds the %zu-byte wire "
+                  "limit",
+                  text.size(), kMaxWireRequestBytes));
+  }
   Result<JsonValue> json = JsonValue::Parse(text);
   KG_RETURN_NOT_OK(json.status());
   return DecodeQueryRequest(json.ValueOrDie());

@@ -32,6 +32,13 @@ namespace kgsearch {
 /// Wire protocol version; encoded as "v" and checked by every decoder.
 inline constexpr int64_t kApiProtocolVersion = 1;
 
+/// Hard cap on one wire request document (1 MiB). DecodeQueryRequestJson
+/// rejects longer text before parsing, bounding the parser's work and
+/// allocations against hostile senders; the TCP server additionally
+/// enforces it as its default line-length limit. Generous: a real request
+/// with a large explicit QueryGraph is a few KiB.
+inline constexpr size_t kMaxWireRequestBytes = size_t{1} << 20;
+
 /// Which engine answers the request.
 enum class QueryMode {
   kSgq,  ///< optimal semantic-guided query (Problem 1)

@@ -1,0 +1,130 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <optional>
+
+#include "util/string_util.h"
+
+namespace kgsearch {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+Result<NdjsonClient> NdjsonClient::Connect(const std::string& host,
+                                           uint16_t port,
+                                           int read_timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  // Request lines are small and latency-sensitive; don't batch them.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  NdjsonClient client;
+  client.fd_ = fd;
+  client.read_timeout_ms_ = read_timeout_ms;
+  return client;
+}
+
+Status NdjsonClient::SendLine(std::string_view line) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  std::string framed(line);
+  framed.push_back('\n');
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> NdjsonClient::ReadLine() {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  const auto take_line = [this]() -> std::optional<std::string> {
+    const size_t pos = buffer_.find('\n');
+    if (pos == std::string::npos) return std::nullopt;
+    std::string line = buffer_.substr(0, pos);
+    buffer_.erase(0, pos + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  };
+  if (auto line = take_line()) return *line;
+
+  int remaining_ms = read_timeout_ms_;
+  char chunk[4096];
+  while (true) {
+    pollfd p{fd_, POLLIN, 0};
+    const int wait_ms = remaining_ms < 0 ? -1 : std::min(remaining_ms, 100);
+    const int ready = ::poll(&p, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready > 0) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        return Status::IOError("server closed the connection");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Errno("recv");
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+      if (auto line = take_line()) return *line;
+      continue;
+    }
+    if (remaining_ms >= 0) {
+      remaining_ms -= wait_ms;
+      if (remaining_ms <= 0) {
+        return Status::TimedOut("no complete response line within timeout");
+      }
+    }
+  }
+}
+
+Result<std::string> NdjsonClient::Call(std::string_view line) {
+  KG_RETURN_NOT_OK(SendLine(line));
+  return ReadLine();
+}
+
+void NdjsonClient::ShutdownSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void NdjsonClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace kgsearch

@@ -1,0 +1,80 @@
+// NdjsonClient: a minimal blocking client for the TcpServer wire protocol,
+// shared by bench_serving, the server tests, and anyone scripting a server
+// from C++. One line out, one line in; Call() pairs them. The socket is
+// plain blocking TCP with poll-based read timeouts, so a hung or stopped
+// server surfaces as Status::TimedOut instead of a stuck thread.
+//
+// Not thread-safe: one client per thread (or external synchronization).
+// SendLine and ReadLine may be driven from two dedicated threads for
+// pipelined use (the open-loop benchmark does this) as long as each side
+// has exactly one caller.
+#ifndef KGSEARCH_SERVER_CLIENT_H_
+#define KGSEARCH_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace kgsearch {
+
+class NdjsonClient {
+ public:
+  NdjsonClient() = default;
+  /// Closes the socket.
+  ~NdjsonClient() { Close(); }
+
+  NdjsonClient(NdjsonClient&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)),
+        read_timeout_ms_(other.read_timeout_ms_),
+        buffer_(std::move(other.buffer_)) {}
+  NdjsonClient& operator=(NdjsonClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+      read_timeout_ms_ = other.read_timeout_ms_;
+      buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+  }
+  NdjsonClient(const NdjsonClient&) = delete;
+  NdjsonClient& operator=(const NdjsonClient&) = delete;
+
+  /// Connects to a numeric IPv4 host ("127.0.0.1"). `read_timeout_ms`
+  /// bounds every subsequent ReadLine (and the Call() reply wait).
+  static Result<NdjsonClient> Connect(const std::string& host, uint16_t port,
+                                      int read_timeout_ms = 10'000);
+
+  /// Sends `line` plus the terminating newline. kIOError when the
+  /// connection is gone.
+  Status SendLine(std::string_view line);
+
+  /// The next newline-terminated line, without its terminator. kTimedOut
+  /// after read_timeout_ms without a complete line; kIOError when the
+  /// server closed the connection first.
+  Result<std::string> ReadLine();
+
+  /// SendLine + ReadLine: one request/response exchange.
+  Result<std::string> Call(std::string_view line);
+
+  /// Half-closes the write side (the server sees EOF once it has drained
+  /// pipelined requests; responses still flow back).
+  void ShutdownSend();
+
+  /// Closes the socket entirely (mid-request disconnect, in tests).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  int read_timeout_ms_ = 10'000;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_SERVER_CLIENT_H_

@@ -1,0 +1,40 @@
+#include "server/stats.h"
+
+namespace kgsearch {
+
+JsonValue EncodeServiceStats(const ServiceStatsSnapshot& stats,
+                             double interval_qps) {
+  JsonValue json = JsonValue::Object();
+  json.Set("queries_total", JsonValue::Uint(stats.queries_total));
+  json.Set("queries_failed", JsonValue::Uint(stats.queries_failed));
+  json.Set("sgq_queries", JsonValue::Uint(stats.sgq_queries));
+  json.Set("tbq_queries", JsonValue::Uint(stats.tbq_queries));
+  json.Set("queries_rejected", JsonValue::Uint(stats.queries_rejected));
+  json.Set("queries_cancelled", JsonValue::Uint(stats.queries_cancelled));
+  json.Set("queries_deadline_exceeded",
+           JsonValue::Uint(stats.queries_deadline_exceeded));
+  json.Set("decomposition_cache_hits",
+           JsonValue::Uint(stats.decomposition_cache_hits));
+  json.Set("decomposition_cache_misses",
+           JsonValue::Uint(stats.decomposition_cache_misses));
+  json.Set("matcher_cache_hits", JsonValue::Uint(stats.matcher_cache_hits));
+  json.Set("matcher_cache_misses",
+           JsonValue::Uint(stats.matcher_cache_misses));
+  json.Set("in_flight", JsonValue::Uint(stats.in_flight));
+  json.Set("queue_depth", JsonValue::Uint(stats.queue_depth));
+  json.Set("executor_queue_depth",
+           JsonValue::Uint(stats.executor_queue_depth));
+  json.Set("admitted_outstanding",
+           JsonValue::Uint(stats.admitted_outstanding));
+  json.Set("uptime_seconds", JsonValue::Number(stats.uptime_seconds));
+  // The cumulative figure keeps its lifetime semantics on the wire under an
+  // explicit name; the interval rate is the one to chart.
+  json.Set("qps_lifetime", JsonValue::Number(stats.qps));
+  json.Set("qps_interval", JsonValue::Number(interval_qps));
+  json.Set("latency_p50_ms", JsonValue::Number(stats.latency_p50_ms));
+  json.Set("latency_p95_ms", JsonValue::Number(stats.latency_p95_ms));
+  json.Set("latency_max_ms", JsonValue::Number(stats.latency_max_ms));
+  return json;
+}
+
+}  // namespace kgsearch

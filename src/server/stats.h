@@ -1,0 +1,54 @@
+// /stats endpoint support: JSON encoding of ServiceStatsSnapshot plus the
+// interval-rate bookkeeping that turns cumulative counters into rates a
+// dashboard can chart.
+//
+// ServiceStatsSnapshot::qps is a lifetime average (cumulative completions /
+// uptime) — on a long-lived server it decays toward the long-run mean and
+// stops reflecting current load. The wire document therefore reports BOTH:
+// "qps_lifetime" (the cumulative figure, useful for totals) and
+// "qps_interval" (the rate since the previous /stats read of the same
+// dataset, computed via IntervalQps from successive snapshots — the number
+// to dashboard).
+#ifndef KGSEARCH_SERVER_STATS_H_
+#define KGSEARCH_SERVER_STATS_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "service/service_stats.h"
+#include "util/json.h"
+
+namespace kgsearch {
+
+/// Encodes one snapshot as a flat JSON object. `interval_qps` is the
+/// caller-computed rate since its previous snapshot (see StatsRateTracker);
+/// the snapshot's own qps field is reported as "qps_lifetime".
+JsonValue EncodeServiceStats(const ServiceStatsSnapshot& stats,
+                             double interval_qps);
+
+/// Remembers the previous snapshot per dataset and turns successive reads
+/// into interval rates. The first read of a dataset has no predecessor, so
+/// it reports the lifetime average (== IntervalQps against an empty
+/// snapshot). Thread-safe.
+class StatsRateTracker {
+ public:
+  /// The completion rate since the previous Update for `dataset` (lifetime
+  /// average on the first call); remembers `current` for the next call.
+  double Update(const std::string& dataset,
+                const ServiceStatsSnapshot& current) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServiceStatsSnapshot& prev = prev_[dataset];
+    const double rate = IntervalQps(prev, current);
+    prev = current;
+    return rate;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, ServiceStatsSnapshot> prev_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_SERVER_STATS_H_

@@ -3,6 +3,7 @@
 #ifndef KGSEARCH_SERVICE_SERVICE_STATS_H_
 #define KGSEARCH_SERVICE_SERVICE_STATS_H_
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cmath>
@@ -27,7 +28,10 @@ class LatencyHistogram {
   }
 
   /// The q-quantile (q in [0,1]) in microseconds, as the geometric center
-  /// of the bucket holding it. 0 when nothing was recorded.
+  /// of the bucket holding it, clamped to the true observed maximum — the
+  /// raw bucket center can land above every recorded sample (e.g. a single
+  /// 1000us sample sits in the bucket centered at ~1154us), and no
+  /// percentile may exceed the max. 0 when nothing was recorded.
   double PercentileMicros(double q) const {
     uint64_t total = 0;
     std::array<uint64_t, kNumBuckets> counts;
@@ -36,14 +40,15 @@ class LatencyHistogram {
       total += counts[i];
     }
     if (total == 0) return 0.0;
+    const double max = static_cast<double>(max_micros());
     const uint64_t rank =
         static_cast<uint64_t>(q * static_cast<double>(total - 1));
     uint64_t seen = 0;
     for (size_t i = 0; i < kNumBuckets; ++i) {
       seen += counts[i];
-      if (seen > rank) return BucketCenterMicros(i);
+      if (seen > rank) return std::min(BucketCenterMicros(i), max);
     }
-    return BucketCenterMicros(kNumBuckets - 1);
+    return std::min(BucketCenterMicros(kNumBuckets - 1), max);
   }
 
   uint64_t count() const {
@@ -106,7 +111,12 @@ struct ServiceStatsSnapshot {
   size_t admitted_outstanding = 0;
 
   double uptime_seconds = 0.0;
-  double qps = 0.0;  ///< queries_total / uptime
+  /// CUMULATIVE average: queries_total / uptime over the service's whole
+  /// lifetime. On a long-lived server this decays toward the long-run mean
+  /// and stops tracking current load — for "qps right now", diff two
+  /// snapshots with IntervalQps (the /stats endpoint reports both, as
+  /// "qps_lifetime" and "qps_interval").
+  double qps = 0.0;
 
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
@@ -125,6 +135,19 @@ struct ServiceStatsSnapshot {
                         static_cast<double>(n);
   }
 };
+
+/// Completion rate between two successive snapshots of the SAME service:
+/// queries completed in the window divided by the window length. This is
+/// the "current load" figure; ServiceStatsSnapshot::qps is the lifetime
+/// average. Against a default-constructed `prev` it degenerates to the
+/// lifetime average. 0 when the window is empty or not advancing (counters
+/// are monotone, so a negative delta means mismatched snapshots).
+inline double IntervalQps(const ServiceStatsSnapshot& prev,
+                          const ServiceStatsSnapshot& curr) {
+  const double dt = curr.uptime_seconds - prev.uptime_seconds;
+  if (dt <= 0.0 || curr.queries_total < prev.queries_total) return 0.0;
+  return static_cast<double>(curr.queries_total - prev.queries_total) / dt;
+}
 
 }  // namespace kgsearch
 

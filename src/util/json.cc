@@ -297,6 +297,49 @@ class Parser {
     return Status::OK();
   }
 
+  /// Validates and appends one complete UTF-8 sequence starting at pos_
+  /// (whose lead byte is >= 0x80). Rejects stray continuation bytes,
+  /// truncated sequences, overlong encodings, surrogate code points, and
+  /// anything above U+10FFFF.
+  Status ConsumeUtf8Sequence(std::string* out) {
+    const unsigned char lead = static_cast<unsigned char>(text_[pos_]);
+    size_t len;
+    unsigned min_code;
+    unsigned code;
+    if ((lead & 0xE0) == 0xC0) {
+      len = 2, min_code = 0x80, code = lead & 0x1Fu;
+    } else if ((lead & 0xF0) == 0xE0) {
+      len = 3, min_code = 0x800, code = lead & 0x0Fu;
+    } else if ((lead & 0xF8) == 0xF0) {
+      len = 4, min_code = 0x10000, code = lead & 0x07u;
+    } else {
+      // 0x80..0xBF (continuation with no lead) or 0xF8..0xFF (never valid).
+      return Error("invalid UTF-8 lead byte in string");
+    }
+    if (pos_ + len > text_.size()) {
+      return Error("truncated UTF-8 sequence in string");
+    }
+    for (size_t i = 1; i < len; ++i) {
+      const unsigned char cont = static_cast<unsigned char>(text_[pos_ + i]);
+      if ((cont & 0xC0) != 0x80) {
+        return Error("invalid UTF-8 continuation byte in string");
+      }
+      code = (code << 6) | (cont & 0x3Fu);
+    }
+    if (code < min_code) {
+      return Error("overlong UTF-8 encoding in string");
+    }
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      return Error("UTF-8 encoded surrogate code point in string");
+    }
+    if (code > 0x10FFFF) {
+      return Error("UTF-8 code point above U+10FFFF in string");
+    }
+    out->append(text_.substr(pos_, len));
+    pos_ += len;
+    return Status::OK();
+  }
+
   Status ParseRawString(std::string* out) {
     if (!Consume('"')) return Error("expected '\"'");
     while (pos_ < text_.size()) {
@@ -304,6 +347,15 @@ class Parser {
       if (c == '"') return Status::OK();
       if (static_cast<unsigned char>(c) < 0x20) {
         return Error("unescaped control character in string");
+      }
+      if (static_cast<unsigned char>(c) >= 0x80) {
+        // Raw multibyte input: validate the whole UTF-8 sequence (length,
+        // continuation bytes, overlongs, surrogates, <= U+10FFFF) rather
+        // than passing arbitrary bytes through into our strings. Hostile
+        // senders probe exactly this path.
+        --pos_;
+        KG_RETURN_NOT_OK(ConsumeUtf8Sequence(out));
+        continue;
       }
       if (c != '\\') {
         out->push_back(c);

@@ -1,0 +1,105 @@
+// Decoder-hardening sweep: every document in the hostile corpus must come
+// back as a clean error Status (or error document) from each wire entry
+// point — never an abort, hang, or sanitizer report. The same corpus runs
+// against a live socket in tests/server/tcp_server_test.cc.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/protocol.h"
+#include "api/session.h"
+#include "testing/car_fixture.h"
+#include "testing/hostile_json.h"
+#include "util/json.h"
+
+namespace kgsearch {
+namespace {
+
+using testing_fixture::HostileWireDocs;
+using testing_fixture::RegisterCars;
+
+TEST(ProtocolRobustnessTest, HostileDocsRejectedByRequestDecoder) {
+  for (const auto& doc : HostileWireDocs()) {
+    Result<QueryRequest> decoded = DecodeQueryRequestJson(doc.text);
+    ASSERT_FALSE(decoded.ok()) << doc.label;
+    const StatusCode code = decoded.status().code();
+    EXPECT_TRUE(code == StatusCode::kParseError ||
+                code == StatusCode::kInvalidArgument)
+        << doc.label << ": " << decoded.status().ToString();
+    EXPECT_FALSE(decoded.status().message().empty()) << doc.label;
+  }
+}
+
+TEST(ProtocolRobustnessTest, HostileDocsAnsweredAsErrorDocumentsByQueryJson) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  for (const auto& doc : HostileWireDocs()) {
+    const std::string answer = session.QueryJson(doc.text);
+    // The answer itself must be a well-formed error document.
+    Result<JsonValue> parsed = JsonValue::Parse(answer);
+    ASSERT_TRUE(parsed.ok()) << doc.label << " answered: " << answer;
+    const JsonValue* error = parsed.ValueOrDie().Find("error");
+    ASSERT_NE(error, nullptr) << doc.label << " answered: " << answer;
+    EXPECT_NE(error->Find("code"), nullptr) << doc.label;
+    EXPECT_NE(error->Find("message"), nullptr) << doc.label;
+  }
+}
+
+TEST(ProtocolRobustnessTest, OversizedDocumentRejectedBeforeParsing) {
+  // Just over the cap: rejected with a message naming the limit.
+  std::string big = "{\"v\":1,\"query_text\":\"";
+  big.append(kMaxWireRequestBytes, 'x');
+  big += "\"}";
+  ASSERT_GT(big.size(), kMaxWireRequestBytes);
+  Result<QueryRequest> decoded = DecodeQueryRequestJson(big);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("wire"), std::string::npos);
+
+  // At the cap exactly: the size guard passes and the parser judges the
+  // content on its merits (here: a valid request shape).
+  std::string at_cap = "{\"v\":1,\"dataset\":\"d\",\"query_text\":\"";
+  at_cap.append(kMaxWireRequestBytes - at_cap.size() - 2, 'y');
+  at_cap += "\"}";
+  ASSERT_EQ(at_cap.size(), kMaxWireRequestBytes);
+  EXPECT_TRUE(DecodeQueryRequestJson(at_cap).ok());
+}
+
+TEST(ProtocolRobustnessTest, ValidUtf8RoundTripsThroughTheCodec) {
+  // The UTF-8 validator must reject mangled bytes without harming real
+  // multibyte text: two-, three-, and four-byte sequences plus escapes.
+  QueryRequest request;
+  request.dataset = "cars";
+  request.query_text = "?Auto länder 日本 𝄞 Ⅻ";
+  Result<QueryRequest> decoded =
+      DecodeQueryRequestJson(EncodeQueryRequestJson(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.ValueOrDie().query_text, request.query_text);
+
+  // Escaped supplementary-plane input decodes to the same raw UTF-8.
+  Result<JsonValue> escaped = JsonValue::Parse("\"\\uD834\\uDD1E\"");
+  ASSERT_TRUE(escaped.ok());
+  EXPECT_EQ(escaped.ValueOrDie().string_value(), "𝄞");
+}
+
+TEST(ProtocolRobustnessTest, InvalidUtf8ErrorsNameTheDefect) {
+  auto code_of = [](const char* text) {
+    return JsonValue::Parse(text).status();
+  };
+  EXPECT_NE(code_of("\"\xC0\xAF\"").message().find("overlong"),
+            std::string::npos);
+  EXPECT_NE(code_of("\"\xED\xA0\x80\"").message().find("surrogate"),
+            std::string::npos);
+  EXPECT_NE(code_of("\"\xF4\x90\x80\x80\"").message().find("U+10FFFF"),
+            std::string::npos);
+  EXPECT_NE(code_of("\"\x80\"").message().find("lead"), std::string::npos);
+  // A closing quote where a continuation byte belongs is a continuation
+  // error; the sequence running off the end of the document is truncation.
+  EXPECT_NE(code_of("\"\xE2\x82\"").message().find("continuation"),
+            std::string::npos);
+  EXPECT_NE(code_of("\"\xE2\x82").message().find("truncated"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgsearch

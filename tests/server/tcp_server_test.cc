@@ -1,0 +1,295 @@
+// TcpServer protocol and lifecycle tests: line framing, GET verbs, error
+// documents, connection and line limits, and the hostile-input corpus
+// replayed against a live socket.
+#include "server/tcp_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/protocol.h"
+#include "server/client.h"
+#include "testing/car_fixture.h"
+#include "testing/hostile_json.h"
+#include "util/json.h"
+
+namespace kgsearch {
+namespace {
+
+using testing_fixture::CarRequest;
+using testing_fixture::HostileWireDocs;
+using testing_fixture::RegisterCars;
+
+/// The "error.code" field of an error document, or "" for non-errors.
+std::string ErrorCode(const std::string& document) {
+  Result<JsonValue> parsed = JsonValue::Parse(document);
+  if (!parsed.ok()) return "<unparseable: " + document + ">";
+  const JsonValue* error = parsed.ValueOrDie().Find("error");
+  if (error == nullptr) return "";
+  const JsonValue* code = error->Find("code");
+  return code == nullptr ? "<no code>" : code->string_value();
+}
+
+NdjsonClient MustConnect(const TcpServer& server) {
+  Result<NdjsonClient> client = NdjsonClient::Connect("127.0.0.1",
+                                                      server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).ValueOrDie();
+}
+
+TEST(TcpServerTest, StartStopLifecycle) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  EXPECT_EQ(server.port(), 0);
+  EXPECT_FALSE(server.running());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+  EXPECT_FALSE(server.Start().ok());  // double Start is refused
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST(TcpServerTest, QueryOverSocketMatchesInProcess) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  const QueryRequest request = CarRequest("?Car product GER");
+  auto reference = session.Query(request);
+  ASSERT_TRUE(reference.ok());
+
+  NdjsonClient client = MustConnect(server);
+  Result<std::string> answer = client.Call(EncodeQueryRequestJson(request));
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  Result<QueryResponse> response =
+      DecodeQueryResponseJson(answer.ValueOrDie());
+  ASSERT_TRUE(response.ok()) << answer.ValueOrDie();
+  EXPECT_EQ(response.ValueOrDie().answers,
+            reference.ValueOrDie().answers);
+  EXPECT_EQ(response.ValueOrDie().dataset, "cars");
+}
+
+TEST(TcpServerTest, PipelinedRequestsAnswerInOrder) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+
+  // Three requests written back-to-back before any read; the middle one is
+  // malformed. Responses must come back 1:1 and in order.
+  const std::string good = EncodeQueryRequestJson(CarRequest(
+      "?Car product GER"));
+  ASSERT_TRUE(client.SendLine(good).ok());
+  ASSERT_TRUE(client.SendLine("{broken").ok());
+  ASSERT_TRUE(client.SendLine(good).ok());
+
+  Result<std::string> first = client.ReadLine();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(ErrorCode(first.ValueOrDie()), "");
+  Result<std::string> second = client.ReadLine();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(ErrorCode(second.ValueOrDie()), "ParseError");
+  Result<std::string> third = client.ReadLine();
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(ErrorCode(third.ValueOrDie()), "");
+  // Same request, same payload (timings legitimately differ per run).
+  Result<QueryResponse> r1 = DecodeQueryResponseJson(first.ValueOrDie());
+  Result<QueryResponse> r3 = DecodeQueryResponseJson(third.ValueOrDie());
+  ASSERT_TRUE(r1.ok() && r3.ok());
+  EXPECT_EQ(r1.ValueOrDie().answers, r3.ValueOrDie().answers);
+}
+
+TEST(TcpServerTest, BlankLinesAndCrLfAreTolerated) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+  // CRLF framing and interleaved blank keep-alive lines.
+  ASSERT_TRUE(client.SendLine("\r\n  \r").ok());
+  ASSERT_TRUE(client.SendLine("GET /healthz\r").ok());
+  Result<std::string> answer = client.ReadLine();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  Result<JsonValue> parsed = JsonValue::Parse(answer.ValueOrDie());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().Find("status")->string_value(), "ok");
+}
+
+TEST(TcpServerTest, HealthzReportsSessionShape) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  ASSERT_TRUE(RegisterCars(&session, "cars2").ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+  Result<std::string> answer = client.Call("GET /healthz");
+  ASSERT_TRUE(answer.ok());
+  Result<JsonValue> parsed = JsonValue::Parse(answer.ValueOrDie());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& doc = parsed.ValueOrDie();
+  EXPECT_EQ(doc.Find("status")->string_value(), "ok");
+  EXPECT_EQ(doc.Find("datasets")->uint_value(), 2u);
+  EXPECT_GE(doc.Find("active_connections")->uint_value(), 1u);
+  EXPECT_GE(doc.Find("uptime_seconds")->number_value(), 0.0);
+}
+
+TEST(TcpServerTest, UnknownGetTargetIsInvalidArgument) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+  Result<std::string> answer = client.Call("GET /teapot");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(ErrorCode(answer.ValueOrDie()), "InvalidArgument");
+  // The connection survives an unknown verb.
+  Result<std::string> health = client.Call("GET /healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(ErrorCode(health.ValueOrDie()), "");
+}
+
+TEST(TcpServerTest, HostileCorpusOverTheSocket) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServerOptions options;
+  options.max_line_bytes = kMaxWireRequestBytes;
+  TcpServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A fresh connection per document: some documents legitimately close the
+  // connection (the oversized one), and a poisoned stream must not leak
+  // into the next case.
+  for (const auto& doc : HostileWireDocs()) {
+    NdjsonClient client = MustConnect(server);
+    ASSERT_TRUE(client.SendLine(doc.text).ok()) << doc.label;
+    if (doc.text.empty() ||
+        doc.text.find_first_not_of(" \t") == std::string::npos) {
+      // Blank lines are keep-alives: no response is expected. Prove the
+      // connection is still healthy instead.
+      Result<std::string> health = client.Call("GET /healthz");
+      ASSERT_TRUE(health.ok()) << doc.label;
+      EXPECT_EQ(ErrorCode(health.ValueOrDie()), "") << doc.label;
+      continue;
+    }
+    Result<std::string> answer = client.ReadLine();
+    ASSERT_TRUE(answer.ok())
+        << doc.label << ": " << answer.status().ToString();
+    const std::string code = ErrorCode(answer.ValueOrDie());
+    EXPECT_TRUE(code == "ParseError" || code == "InvalidArgument")
+        << doc.label << " answered: " << answer.ValueOrDie();
+  }
+  // The server survived the sweep.
+  NdjsonClient client = MustConnect(server);
+  Result<std::string> answer =
+      client.Call(EncodeQueryRequestJson(CarRequest("?Car product GER")));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(ErrorCode(answer.ValueOrDie()), "");
+}
+
+TEST(TcpServerTest, OverlongLineAnsweredThenClosed) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServerOptions options;
+  options.max_line_bytes = 1024;  // small cap to keep the test light
+  TcpServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+  // 4 KiB with no newline: the guard must fire on the unterminated buffer.
+  const std::string flood(4096, 'z');
+  ASSERT_TRUE(client.SendLine(flood).ok());
+  Result<std::string> answer = client.ReadLine();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(ErrorCode(answer.ValueOrDie()), "InvalidArgument");
+  // ...and the connection is closed afterwards.
+  Result<std::string> after = client.ReadLine();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kIOError);
+}
+
+TEST(TcpServerTest, ConnectionLimitRejectsWithErrorDocument) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServerOptions options;
+  options.max_connections = 2;
+  TcpServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient first = MustConnect(server);
+  NdjsonClient second = MustConnect(server);
+  // Both slots must be live (served by their threads) before the third
+  // connect, so exercise them.
+  ASSERT_TRUE(first.Call("GET /healthz").ok());
+  ASSERT_TRUE(second.Call("GET /healthz").ok());
+
+  NdjsonClient third = MustConnect(server);
+  Result<std::string> answer = third.ReadLine();
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(ErrorCode(answer.ValueOrDie()), "ResourceExhausted");
+  // The admitted connections keep working.
+  Result<std::string> still = first.Call("GET /healthz");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(ErrorCode(still.ValueOrDie()), "");
+
+  // Freeing a slot admits a newcomer (reaping happens in the accept loop).
+  second.Close();
+  bool admitted = false;
+  for (int attempt = 0; attempt < 100 && !admitted; ++attempt) {
+    NdjsonClient retry = MustConnect(server);
+    Result<std::string> health = retry.Call("GET /healthz");
+    admitted = health.ok() && ErrorCode(health.ValueOrDie()).empty();
+    if (!admitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(admitted);
+}
+
+TEST(TcpServerTest, StopClosesClientConnections) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+  ASSERT_TRUE(client.Call("GET /healthz").ok());
+  server.Stop();
+  // The client observes EOF (or a reset) rather than a hang.
+  Result<std::string> after = client.ReadLine();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kIOError);
+}
+
+TEST(TcpServerTest, ServesDtoGraphRequestsAndTbqMode) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+
+  QueryRequest request = CarRequest("");
+  QueryGraph graph_query;
+  int car = graph_query.AddTargetNode("Automobile");
+  int ger = graph_query.AddSpecificNode("Country", "Germany");
+  graph_query.AddEdge(car, ger, "assembly");
+  request.query_graph = graph_query;
+  request.mode = QueryMode::kTbq;
+  request.options.time_bound_micros = 10'000'000;
+
+  auto reference = session.Query(request);
+  ASSERT_TRUE(reference.ok());
+  Result<std::string> answer = client.Call(EncodeQueryRequestJson(request));
+  ASSERT_TRUE(answer.ok());
+  Result<QueryResponse> response =
+      DecodeQueryResponseJson(answer.ValueOrDie());
+  ASSERT_TRUE(response.ok()) << answer.ValueOrDie();
+  EXPECT_EQ(response.ValueOrDie().answers, reference.ValueOrDie().answers);
+  EXPECT_EQ(response.ValueOrDie().mode, QueryMode::kTbq);
+}
+
+}  // namespace
+}  // namespace kgsearch

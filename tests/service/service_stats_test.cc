@@ -1,0 +1,118 @@
+#include "service/service_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace kgsearch {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_micros(), 0);
+  EXPECT_EQ(h.PercentileMicros(0.5), 0.0);
+  EXPECT_EQ(h.PercentileMicros(0.99), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileNeverExceedsObservedMax) {
+  // Regression: the raw geometric bucket center can land ABOVE every
+  // recorded sample (1000us falls in the bucket centered at ~1154us), so an
+  // unclamped p95 reported latencies that never happened — clients saw
+  // p95 > max. A single sample makes every percentile equal the sample's
+  // bucket, which must clamp to the sample itself.
+  LatencyHistogram h;
+  h.RecordMicros(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_micros(), 1000);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_LE(h.PercentileMicros(q), 1000.0) << "q=" << q;
+    EXPECT_GT(h.PercentileMicros(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileClampHoldsAcrossMagnitudes) {
+  for (int64_t sample : {1, 2, 7, 99, 1000, 12'345, 999'999, 10'000'000}) {
+    LatencyHistogram h;
+    h.RecordMicros(sample);
+    EXPECT_LE(h.PercentileMicros(0.95), static_cast<double>(sample))
+        << "sample=" << sample;
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBucketAccurate) {
+  LatencyHistogram h;
+  // 100 samples spread over two decades; percentiles must be ordered and
+  // within one bucket width (~15%) of the exact order statistics.
+  std::vector<int64_t> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i * 100);  // 100us..10ms
+  for (int64_t s : samples) h.RecordMicros(s);
+  const double p50 = h.PercentileMicros(0.5);
+  const double p95 = h.PercentileMicros(0.95);
+  const double p99 = h.PercentileMicros(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, static_cast<double>(h.max_micros()));
+  EXPECT_NEAR(p50, 5'000, 5'000 * 0.16);
+  EXPECT_NEAR(p95, 9'500, 9'500 * 0.16);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.RecordMicros(100 + (t * kPerThread + i) % 1000);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(h.PercentileMicros(0.99), static_cast<double>(h.max_micros()));
+}
+
+TEST(IntervalQpsTest, DiffsSuccessiveSnapshots) {
+  ServiceStatsSnapshot prev;
+  prev.queries_total = 100;
+  prev.uptime_seconds = 10.0;
+  ServiceStatsSnapshot curr;
+  curr.queries_total = 250;
+  curr.uptime_seconds = 15.0;
+  // 150 completions over 5 seconds: the interval rate is 30 qps even
+  // though the lifetime average is only 250/15 ≈ 16.7.
+  EXPECT_DOUBLE_EQ(IntervalQps(prev, curr), 30.0);
+}
+
+TEST(IntervalQpsTest, FirstSnapshotDegeneratesToLifetimeAverage) {
+  ServiceStatsSnapshot curr;
+  curr.queries_total = 80;
+  curr.uptime_seconds = 4.0;
+  curr.qps = 20.0;
+  EXPECT_DOUBLE_EQ(IntervalQps(ServiceStatsSnapshot{}, curr), curr.qps);
+}
+
+TEST(IntervalQpsTest, DegenerateWindowsReportZero) {
+  ServiceStatsSnapshot a;
+  a.queries_total = 10;
+  a.uptime_seconds = 5.0;
+  // Same snapshot twice: zero-width window.
+  EXPECT_EQ(IntervalQps(a, a), 0.0);
+  // Mismatched snapshots (counters going backwards) must not yield a
+  // negative or huge rate.
+  ServiceStatsSnapshot later = a;
+  later.uptime_seconds = 6.0;
+  later.queries_total = 4;
+  EXPECT_EQ(IntervalQps(a, later), 0.0);
+  // Empty idle window: no completions, positive dt.
+  ServiceStatsSnapshot idle = a;
+  idle.uptime_seconds = 9.0;
+  EXPECT_EQ(IntervalQps(a, idle), 0.0);
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,92 @@
+// The Figure 2 miniature as a reusable session fixture: cars connected to
+// Germany via semantically equivalent paths plus a designer/nationality
+// distractor, with hand-placed predicate cosines so rankings are exact and
+// deterministic. Shared by the server tests (which compare socket answers
+// bit-for-bit against in-process calls); tests/api/session_test.cc keeps
+// its own inline copy with per-test variations.
+#ifndef KGSEARCH_TESTS_TESTING_CAR_FIXTURE_H_
+#define KGSEARCH_TESTS_TESTING_CAR_FIXTURE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/session.h"
+
+namespace kgsearch {
+namespace testing_fixture {
+
+struct CarParts {
+  std::unique_ptr<KnowledgeGraph> graph;
+  std::unique_ptr<PredicateSpace> space;
+  TransformationLibrary library;
+};
+
+inline CarParts MakeCarParts() {
+  CarParts parts;
+  parts.graph = std::make_unique<KnowledgeGraph>();
+  KnowledgeGraph& g = *parts.graph;
+  NodeId audi = g.AddNode("Audi_TT", "Automobile");
+  NodeId bmw = g.AddNode("BMW_320", "Automobile");
+  NodeId kia = g.AddNode("KIA_K5", "Automobile");
+  NodeId germany = g.AddNode("Germany", "Country");
+  NodeId regensburg = g.AddNode("Regensburg", "City");
+  NodeId schreyer = g.AddNode("Peter_Schreyer", "Person");
+  g.AddEdge(bmw, "assembly", germany);
+  g.AddEdge(audi, "assembly", regensburg);
+  g.AddEdge(regensburg, "country", germany);
+  g.AddEdge(kia, "designer", schreyer);
+  g.AddEdge(schreyer, "nationality", germany);
+  g.InternPredicate("product");
+  g.Finalize();
+
+  auto vec = [](double cosine) {
+    return FloatVec{
+        static_cast<float>(cosine),
+        static_cast<float>(std::sqrt(std::max(0.0, 1.0 - cosine * cosine)))};
+  };
+  std::vector<FloatVec> vectors(g.NumPredicates());
+  std::vector<std::string> names(g.NumPredicates());
+  auto set_vec = [&](const char* predicate, double cosine) {
+    PredicateId p = g.FindPredicate(predicate);
+    vectors[p] = vec(cosine);
+    names[p] = predicate;
+  };
+  set_vec("product", 1.0);
+  set_vec("assembly", 0.98);
+  set_vec("country", 0.91);
+  set_vec("designer", 0.55);
+  set_vec("nationality", 0.50);
+  parts.space =
+      std::make_unique<PredicateSpace>(std::move(vectors), std::move(names));
+
+  parts.library.AddTypeSynonym("Car", "Automobile");
+  parts.library.AddNameAbbreviation("GER", "Germany");
+  return parts;
+}
+
+inline Status RegisterCars(KgSession* session,
+                           const std::string& name = "cars") {
+  CarParts parts = MakeCarParts();
+  return session->RegisterDataset(name, std::move(parts.graph),
+                                  std::move(parts.space),
+                                  std::move(parts.library));
+}
+
+inline QueryRequest CarRequest(const std::string& text) {
+  QueryRequest request;
+  request.dataset = "cars";
+  request.query_text = text;
+  request.options.k = 5;
+  request.options.tau = 0.6;
+  request.options.n_hat = 3;
+  return request;
+}
+
+}  // namespace testing_fixture
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_TESTS_TESTING_CAR_FIXTURE_H_

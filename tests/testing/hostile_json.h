@@ -1,0 +1,123 @@
+// A corpus of hostile wire documents, shared by the in-process decoder
+// robustness tests (tests/api/protocol_robustness_test.cc) and the live
+// socket sweep (tests/server/tcp_server_test.cc). Every document must be
+// answered with a clean error — never an abort, hang, or out-of-bounds
+// read — by DecodeQueryRequestJson, KgSession::QueryJson, and a TcpServer.
+//
+// Documents deliberately contain no raw '\n': the wire protocol frames on
+// newlines, so an embedded newline would split a document into two lines
+// and test the framing instead of the parser. Newlines inside strings are
+// covered via the \n escape and via the raw-control-character case, which
+// uses \t framing-safely.
+#ifndef KGSEARCH_TESTS_TESTING_HOSTILE_JSON_H_
+#define KGSEARCH_TESTS_TESTING_HOSTILE_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace kgsearch {
+namespace testing_fixture {
+
+struct HostileDoc {
+  std::string label;  ///< what the document probes (for failure messages)
+  std::string text;   ///< the document, newline-free
+};
+
+inline std::vector<HostileDoc> HostileWireDocs() {
+  std::vector<HostileDoc> docs;
+  auto add = [&docs](std::string label, std::string text) {
+    docs.push_back({std::move(label), std::move(text)});
+  };
+
+  // Structurally broken documents.
+  add("empty document", "");
+  add("whitespace only", "   \t  ");
+  add("not json at all", "GET me a beer");
+  add("truncated object", "{\"v\":1,\"dataset\":\"cars\"");
+  add("truncated string", "{\"v\":1,\"dataset\":\"ca");
+  add("truncated escape", "{\"dataset\":\"x\\");
+  add("trailing garbage", "{\"v\":1} {\"v\":1}");
+  add("lone closing brace", "}");
+  add("bare comma", ",");
+
+  // Wrong root / wrong field types.
+  add("array root", "[1,2,3]");
+  add("string root", "\"just a string\"");
+  add("number root", "42");
+  add("null root", "null");
+  add("dataset is a number", "{\"v\":1,\"dataset\":7}");
+  add("options is an array", "{\"v\":1,\"dataset\":\"d\",\"options\":[]}");
+  add("v is a string", "{\"v\":\"one\",\"dataset\":\"d\"}");
+  add("future protocol version", "{\"v\":99,\"dataset\":\"d\"}");
+
+  // Hostile numbers.
+  add("overflowing double", "{\"v\":1,\"options\":{\"tau\":1e309}}");
+  add("400-digit integer",
+      "{\"v\":1,\"options\":{\"k\":" + std::string(400, '7') + "}}");
+  add("negative unsigned field",
+      "{\"v\":1,\"dataset\":\"d\",\"options\":{\"k\":-3}}");
+  add("fractional unsigned field",
+      "{\"v\":1,\"dataset\":\"d\",\"options\":{\"k\":2.5}}");
+  add("negative deadline",
+      "{\"v\":1,\"dataset\":\"d\",\"query_text\":\"?A p B\","
+      "\"deadline_ms\":-5}");
+  add("hex number", "{\"v\":0x1}");
+  add("leading plus", "{\"v\":+1}");
+  add("bare minus", "{\"v\":-}");
+  add("NaN literal", "{\"v\":1,\"options\":{\"tau\":NaN}}");
+
+  // Deep nesting (the parser's depth limit is 64; go far past it).
+  {
+    std::string deep = "{\"v\":1,\"query_graph\":";
+    for (int i = 0; i < 100'000; ++i) deep += '[';
+    for (int i = 0; i < 100'000; ++i) deep += ']';
+    deep += '}';
+    add("100k-deep array nesting", std::move(deep));
+  }
+  {
+    std::string deep;
+    for (int i = 0; i < 5'000; ++i) deep += "{\"a\":";
+    deep += "1";
+    for (int i = 0; i < 5'000; ++i) deep += '}';
+    add("5k-deep object nesting", std::move(deep));
+  }
+
+  // Invalid UTF-8 in strings (raw bytes, not escapes).
+  add("0xFF 0xFE in string", "{\"v\":1,\"dataset\":\"\xFF\xFE\"}");
+  add("stray continuation byte", "{\"v\":1,\"dataset\":\"\x80ps\"}");
+  add("overlong slash C0 AF", "{\"v\":1,\"dataset\":\"\xC0\xAF\"}");
+  add("overlong NUL C0 80", "{\"v\":1,\"dataset\":\"\xC0\x80\"}");
+  add("UTF-8 encoded surrogate ED A0 80",
+      "{\"v\":1,\"dataset\":\"\xED\xA0\x80\"}");
+  add("code point above U+10FFFF F4 90 80 80",
+      "{\"v\":1,\"dataset\":\"\xF4\x90\x80\x80\"}");
+  add("truncated 3-byte sequence", "{\"v\":1,\"dataset\":\"\xE2\x82\"}");
+  add("lead byte at end of string", "{\"v\":1,\"dataset\":\"abc\xF0\"}");
+  add("five-byte lead 0xF8", "{\"v\":1,\"dataset\":\"\xF8\x88\x80\x80\x80\"}");
+
+  // Escape-sequence abuse.
+  add("unpaired high surrogate escape", "{\"v\":1,\"dataset\":\"\\uD800\"}");
+  add("unpaired low surrogate escape", "{\"v\":1,\"dataset\":\"\\uDC00\"}");
+  add("high surrogate + non-surrogate",
+      "{\"v\":1,\"dataset\":\"\\uD800\\u0041\"}");
+  add("invalid escape character", "{\"v\":1,\"dataset\":\"\\q\"}");
+  add("short unicode escape", "{\"v\":1,\"dataset\":\"\\u12\"}");
+  add("raw tab control character", "{\"v\":1,\"dataset\":\"a\tb\"}");
+
+  // Oversized document: a string field pushing the whole document past the
+  // 1 MiB wire cap (kMaxWireRequestBytes). Kept newline-free so the server
+  // sweep exercises the line-length guard with one line.
+  {
+    std::string big = "{\"v\":1,\"dataset\":\"cars\",\"query_text\":\"";
+    big.append((size_t{1} << 20) + 1024, 'x');
+    big += "\"}";
+    add("document over the 1 MiB wire cap", std::move(big));
+  }
+
+  return docs;
+}
+
+}  // namespace testing_fixture
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_TESTS_TESTING_HOSTILE_JSON_H_
