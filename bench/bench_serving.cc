@@ -121,7 +121,16 @@ LoadPointResult RunLoadPoint(uint16_t port,
   // The /stats probe brackets the window so qps_interval covers exactly
   // this load point.
   Result<NdjsonClient> probe = NdjsonClient::Connect("127.0.0.1", port);
-  if (probe.ok()) probe.ValueOrDie().Call("GET /stats/bench");
+  if (probe.ok()) {
+    // The reply content is irrelevant (this read just starts the interval
+    // window), but a failed probe would make qps_interval cover the wrong
+    // span — surface it instead of dropping the status.
+    Result<std::string> primed = probe.ValueOrDie().Call("GET /stats/bench");
+    if (!primed.ok()) {
+      std::fprintf(stderr, "warning: stats probe failed: %s\n",
+                   primed.status().ToString().c_str());
+    }
+  }
 
   struct ConnTally {
     std::vector<double> latency_ms;

@@ -85,7 +85,7 @@ Status KgSession::RegisterDataset(const std::string& name,
       dataset->graph.get(), dataset->space.get(), &dataset->library,
       service_options, clock_);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto [it, inserted] = datasets_.emplace(name, std::move(dataset));
   (void)it;
   if (!inserted) {
@@ -174,7 +174,12 @@ Status KgSession::SaveDataset(const std::string& name,
 }
 
 KgSession::Dataset* KgSession::FindDataset(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
+  return FindDatasetLocked(name);
+}
+
+KgSession::Dataset* KgSession::FindDatasetLocked(
+    const std::string& name) const {
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second.get();
 }
@@ -184,7 +189,7 @@ bool KgSession::HasDataset(const std::string& name) const {
 }
 
 std::vector<DatasetInfo> KgSession::ListDatasets() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::vector<DatasetInfo> out;
   out.reserve(datasets_.size());
   for (const auto& [name, dataset] : datasets_) {

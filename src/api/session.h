@@ -28,7 +28,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,6 +36,8 @@
 #include "embedding/transe.h"
 #include "match/transformation_library.h"
 #include "service/query_service.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgsearch {
 
@@ -195,8 +196,13 @@ class KgSession {
     std::unique_ptr<QueryService> service;
   };
 
-  /// Stable pointer lookup under the registry lock.
-  Dataset* FindDataset(const std::string& name) const;
+  /// Stable pointer lookup; takes the registry lock itself. The returned
+  /// pointer stays valid for the session's lifetime (registration is
+  /// append-only), so callers may use it after the lock is gone.
+  Dataset* FindDataset(const std::string& name) const EXCLUDES(mutex_);
+  /// Lookup core for callers already inside the registry lock.
+  Dataset* FindDatasetLocked(const std::string& name) const
+      REQUIRES(mutex_);
 
   /// The priority admission actually sees: the request's own unless the
   /// session is configured to distrust it. Responses still echo what the
@@ -228,8 +234,12 @@ class KgSession {
   /// Declared before datasets_: services (which reference the pool) are
   /// destroyed first, the pool last.
   std::unique_ptr<ThreadPool> pool_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Dataset>> datasets_;
+  /// Registry lock ("session" layer in util/mutex.h's lock ordering):
+  /// guards only the map structure — Dataset contents are immutable after
+  /// registration and each service synchronizes itself.
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_
+      GUARDED_BY(mutex_);
   /// Facade async requests enqueued but not yet started.
   std::atomic<size_t> queued_{0};
   /// Async requests not yet finished; drained by the destructor before any

@@ -4,10 +4,14 @@
 // plain blocking TCP with poll-based read timeouts, so a hung or stopped
 // server surfaces as Status::TimedOut instead of a stuck thread.
 //
-// Not thread-safe: one client per thread (or external synchronization).
-// SendLine and ReadLine may be driven from two dedicated threads for
-// pipelined use (the open-loop benchmark does this) as long as each side
-// has exactly one caller.
+// Not thread-safe, deliberately: one client per thread (or external
+// synchronization). SendLine and ReadLine may be driven from two dedicated
+// threads for pipelined use (the open-loop benchmark does this) as long as
+// each side has exactly one caller — the send path touches only fd_ and
+// the read path owns buffer_, so the split needs no lock. Because the
+// class is single-owner there is nothing for the thread-safety analysis
+// (util/thread_annotations.h) to guard; adding an internal Mutex would
+// only hide misuse TSan can catch.
 #ifndef KGSEARCH_SERVER_CLIENT_H_
 #define KGSEARCH_SERVER_CLIENT_H_
 

@@ -13,11 +13,12 @@
 #define KGSEARCH_SERVER_STATS_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "service/service_stats.h"
 #include "util/json.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgsearch {
 
@@ -36,8 +37,8 @@ class StatsRateTracker {
   /// The completion rate since the previous Update for `dataset` (lifetime
   /// average on the first call); remembers `current` for the next call.
   double Update(const std::string& dataset,
-                const ServiceStatsSnapshot& current) {
-    std::lock_guard<std::mutex> lock(mutex_);
+                const ServiceStatsSnapshot& current) EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     ServiceStatsSnapshot& prev = prev_[dataset];
     const double rate = IntervalQps(prev, current);
     prev = current;
@@ -45,8 +46,8 @@ class StatsRateTracker {
   }
 
  private:
-  std::mutex mutex_;
-  std::map<std::string, ServiceStatsSnapshot> prev_;
+  Mutex mutex_;
+  std::map<std::string, ServiceStatsSnapshot> prev_ GUARDED_BY(mutex_);
 };
 
 }  // namespace kgsearch

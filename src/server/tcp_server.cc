@@ -121,23 +121,28 @@ void TcpServer::Stop() {
     return;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop is gone, so nothing mutates the list anymore — but
+  // take custody under the lock anyway: the unlocked iteration here used
+  // to be unprovable (and one list-touching refactor away from a real
+  // race). Swapping the list out keeps the teardown lock-free afterwards
+  // without ever touching guarded state unlocked.
+  std::list<std::unique_ptr<Connection>> remaining;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (auto& conn : connections_) {
-      // Revoke the in-flight query (the engine aborts between expansions)
-      // and unblock any read; the thread notices stopping_ on its next
-      // poll tick regardless.
-      conn->cancel.Cancel();
-      ::shutdown(conn->fd, SHUT_RDWR);
-    }
+    MutexLock lock(&conn_mutex_);
+    remaining.swap(connections_);
   }
-  // No new connections can appear (accept loop is gone), so the list is
-  // stable from here on.
-  for (auto& conn : connections_) {
+  for (auto& conn : remaining) {
+    // Revoke the in-flight query (the engine aborts between expansions)
+    // and unblock any read; the thread notices stopping_ on its next
+    // poll tick regardless.
+    conn->cancel.Cancel();
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& conn : remaining) {
     if (conn->thread.joinable()) conn->thread.join();
     ::close(conn->fd);
   }
-  connections_.clear();
+  remaining.clear();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -145,7 +150,7 @@ void TcpServer::Stop() {
 }
 
 void TcpServer::ReapFinishedConnections() {
-  std::lock_guard<std::mutex> lock(conn_mutex_);
+  MutexLock lock(&conn_mutex_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     if ((*it)->done.load(std::memory_order_acquire)) {
       if ((*it)->thread.joinable()) (*it)->thread.join();
@@ -184,7 +189,7 @@ void TcpServer::AcceptLoop() {
     Connection* raw = conn.get();
     active_connections_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(conn_mutex_);
+      MutexLock lock(&conn_mutex_);
       connections_.push_back(std::move(conn));
     }
     raw->thread = std::thread([this, raw] {

@@ -34,7 +34,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -42,6 +41,8 @@
 #include "server/stats.h"
 #include "util/cancel.h"
 #include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgsearch {
 
@@ -84,7 +85,7 @@ class TcpServer {
 
   /// Cancels in-flight queries, closes every connection and the listener,
   /// and joins all threads. Idempotent.
-  void Stop();
+  void Stop() EXCLUDES(conn_mutex_);
 
   /// The bound port (the resolved one when options.port was 0); 0 before a
   /// successful Start.
@@ -110,9 +111,11 @@ class TcpServer {
     CancelToken cancel;
   };
 
-  void AcceptLoop();
+  void AcceptLoop() EXCLUDES(conn_mutex_);
   /// Joins and erases finished connections (called from the accept loop).
-  void ReapFinishedConnections();
+  /// Joining under conn_mutex_ is deadlock-free: connection threads never
+  /// take the lock (see the lock-ordering note in util/mutex.h).
+  void ReapFinishedConnections() EXCLUDES(conn_mutex_);
   /// Reads lines and answers them until EOF, error, or shutdown.
   void ServeConnection(Connection* conn);
   /// Answers one request line; false when the connection must close.
@@ -134,8 +137,11 @@ class TcpServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
 
-  std::mutex conn_mutex_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  /// Guards the connection list against the accept loop's push/reap;
+  /// Stop() swaps the list out under this lock before tearing it down.
+  Mutex conn_mutex_;
+  std::list<std::unique_ptr<Connection>> connections_
+      GUARDED_BY(conn_mutex_);
   std::atomic<size_t> active_connections_{0};
   std::atomic<uint64_t> connections_accepted_{0};
 

@@ -24,6 +24,12 @@
 // worker count; admission bounds how much work the service *accepts*, which
 // is what keeps tail latency flat when demand exceeds capacity (see
 // bench_admission).
+//
+// Deliberately lock-free: the gate is one CAS loop over a single atomic
+// gauge, so there is nothing for the thread-safety analysis
+// (util/thread_annotations.h) to guard. TryAdmit is [[nodiscard]] — a
+// dropped admission decision is either a leaked slot or an unenforced
+// limit, both accounting bugs.
 #ifndef KGSEARCH_SERVICE_ADMISSION_H_
 #define KGSEARCH_SERVICE_ADMISSION_H_
 
@@ -73,12 +79,12 @@ class AdmissionController {
   AdmissionController& operator=(const AdmissionController&) = delete;
 
   /// True when admission control is active.
-  bool enabled() const { return max_in_flight_ > 0; }
+  [[nodiscard]] bool enabled() const { return max_in_flight_ > 0; }
 
   /// Attempts to admit one request; on success the caller owes exactly one
   /// Release() when the request finishes (however it finishes). On failure
   /// the rejection counter is bumped and nothing is owed.
-  bool TryAdmit(bool async, RequestPriority priority) {
+  [[nodiscard]] bool TryAdmit(bool async, RequestPriority priority) {
     if (!enabled() || priority == RequestPriority::kHigh) {
       outstanding_.fetch_add(1, std::memory_order_relaxed);
       return true;

@@ -20,7 +20,14 @@
 //    between node expansions with kDeadlineExceeded / kCancelled.
 //
 // Thread-safety: all public methods may be called concurrently from any
-// thread. Results are bit-identical to direct serial SgqEngine execution
+// thread. The service holds no naked locks of its own — its mutable state
+// is the annotated LruCaches (util/lru_cache.h), the lock-free admission
+// gate and counters, and the pool-layer WaitGroup, each of which
+// synchronizes itself; the Clang thread-safety build proves the cache and
+// pool lock discipline (see util/thread_annotations.h, and the lock
+// ordering in util/mutex.h: service-layer cache locks may be taken while
+// the session registry lock is held, never the reverse).
+// Results are bit-identical to direct serial SgqEngine execution
 // for the same query and options (the differential tests assert this);
 // admission control and never-firing deadlines/tokens do not change any
 // accepted query's answer.
@@ -129,7 +136,7 @@ class QueryService {
       const QueryGraph& query, TimeBoundedOptions options);
 
   /// Point-in-time counter snapshot.
-  ServiceStatsSnapshot Stats() const;
+  [[nodiscard]] ServiceStatsSnapshot Stats() const;
 
   size_t num_threads() const { return executor()->num_threads(); }
   /// Admission-gate introspection (limits + gauges), for tests and demos.

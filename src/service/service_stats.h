@@ -1,5 +1,13 @@
 // Serving-layer observability: lock-free latency histogram and the
 // aggregate counter snapshot exposed by QueryService::Stats().
+//
+// Thread-safety: LatencyHistogram is all relaxed atomics — recording on
+// the query hot path must never contend on a Mutex, so there is nothing
+// here for the thread-safety analysis to guard. The price is advisory
+// reads: Percentile/count/max are each internally consistent but a
+// concurrent Record may land between them. ServiceStatsSnapshot is a plain
+// value: one thread fills it, then it is data. Fields that must be read
+// together under a lock live behind StatsRateTracker (server/stats.h).
 #ifndef KGSEARCH_SERVICE_SERVICE_STATS_H_
 #define KGSEARCH_SERVICE_SERVICE_STATS_H_
 
@@ -32,7 +40,7 @@ class LatencyHistogram {
   /// raw bucket center can land above every recorded sample (e.g. a single
   /// 1000us sample sits in the bucket centered at ~1154us), and no
   /// percentile may exceed the max. 0 when nothing was recorded.
-  double PercentileMicros(double q) const {
+  [[nodiscard]] double PercentileMicros(double q) const {
     uint64_t total = 0;
     std::array<uint64_t, kNumBuckets> counts;
     for (size_t i = 0; i < kNumBuckets; ++i) {
@@ -51,12 +59,12 @@ class LatencyHistogram {
     return std::min(BucketCenterMicros(kNumBuckets - 1), max);
   }
 
-  uint64_t count() const {
+  [[nodiscard]] uint64_t count() const {
     uint64_t total = 0;
     for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
     return total;
   }
-  int64_t max_micros() const {
+  [[nodiscard]] int64_t max_micros() const {
     return max_micros_.load(std::memory_order_relaxed);
   }
 

@@ -7,6 +7,11 @@
 // Status (kCancelled / kDeadlineExceeded) instead of running to
 // completion. Polling is wait-free; neither primitive ever blocks the
 // worker being interrupted.
+//
+// Deliberately lock-free: there is nothing here for the thread-safety
+// analysis (util/thread_annotations.h) to guard — the latch is a single
+// release/acquire atomic and deadlines are immutable int64 values. Keep it
+// that way; a poll on the engine hot path must never contend on a Mutex.
 #ifndef KGSEARCH_UTIL_CANCEL_H_
 #define KGSEARCH_UTIL_CANCEL_H_
 
@@ -31,7 +36,7 @@ class CancelToken {
   CancelToken& operator=(const CancelToken&) = delete;
 
   void Cancel() { cancelled_.store(true, std::memory_order_release); }
-  bool cancelled() const {
+  [[nodiscard]] bool cancelled() const {
     return cancelled_.load(std::memory_order_acquire);
   }
 
@@ -45,7 +50,8 @@ class CancelToken {
 /// negative budgets are the caller's validation problem and also map to 0.
 /// Budgets too large to represent saturate to the far future instead of
 /// overflowing (wire clients may send any int64).
-inline int64_t DeadlineFromNowMs(int64_t deadline_ms, const Clock* clock) {
+[[nodiscard]] inline int64_t DeadlineFromNowMs(int64_t deadline_ms,
+                                               const Clock* clock) {
   if (deadline_ms <= 0) return 0;
   const int64_t max = std::numeric_limits<int64_t>::max();
   if (deadline_ms > max / 1000) return max;
@@ -59,6 +65,8 @@ inline int64_t DeadlineFromNowMs(int64_t deadline_ms, const Clock* clock) {
 /// is checked before the deadline (a revoked request reports kCancelled
 /// even when it also expired), and a deadline of 0 means none. OK when the
 /// work may keep running.
+// (Status is class-level [[nodiscard]], so an ignored interrupt check is
+// a compile error.)
 inline Status CheckInterrupt(const CancelToken* cancel,
                              int64_t deadline_micros, const Clock* clock) {
   if (cancel != nullptr && cancel->cancelled()) {

@@ -1,5 +1,10 @@
 // Clock abstraction so time-bounded search (Section VI) is testable with a
 // deterministic manual clock.
+//
+// Thread-safety: every clock here is safe to read from any thread without
+// locks — SystemClock is stateless and ManualClock is a single atomic, so
+// there is nothing for the thread-safety analysis to guard. StopWatch is
+// single-owner (one thread constructs, restarts, and reads it).
 #ifndef KGSEARCH_UTIL_CLOCK_H_
 #define KGSEARCH_UTIL_CLOCK_H_
 
@@ -14,7 +19,7 @@ class Clock {
  public:
   virtual ~Clock() = default;
   /// Current monotonic time in microseconds.
-  virtual int64_t NowMicros() const = 0;
+  [[nodiscard]] virtual int64_t NowMicros() const = 0;
 };
 
 /// Wall clock backed by std::chrono::steady_clock.
@@ -54,8 +59,10 @@ class StopWatch {
       : clock_(clock), start_(clock_->NowMicros()) {}
 
   void Restart() { start_ = clock_->NowMicros(); }
-  int64_t ElapsedMicros() const { return clock_->NowMicros() - start_; }
-  double ElapsedMillis() const {
+  [[nodiscard]] int64_t ElapsedMicros() const {
+    return clock_->NowMicros() - start_;
+  }
+  [[nodiscard]] double ElapsedMillis() const {
     return static_cast<double>(ElapsedMicros()) / 1000.0;
   }
 

@@ -2,10 +2,17 @@
 
 #include <atomic>
 
+#include "util/mutex.h"
+
 namespace kgsearch {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Serializes sink writes: one fprintf call per message is atomic on POSIX
+/// stdio, but the lock makes the no-interleaving guarantee explicit and
+/// independent of platform stdio locking.
+Mutex g_sink_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -40,7 +47,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    const std::string formatted = stream_.str();
+    MutexLock lock(&g_sink_mutex);
+    std::fprintf(stderr, "%s\n", formatted.c_str());
   }
 }
 

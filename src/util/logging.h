@@ -1,4 +1,8 @@
 // Minimal leveled logging to stderr.
+//
+// Thread-safety: KG_LOG may be used from any thread. The level gate is a
+// lock-free atomic; message emission is serialized under an internal
+// annotated Mutex (util/mutex.h), so concurrent messages never interleave.
 #ifndef KGSEARCH_UTIL_LOGGING_H_
 #define KGSEARCH_UTIL_LOGGING_H_
 

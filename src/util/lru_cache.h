@@ -5,9 +5,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgsearch {
 
@@ -32,8 +34,8 @@ class LruCache {
   /// Copies the cached value into `*out` and returns true on a hit; the
   /// entry becomes most-recently-used.
   template <typename LookupKey = K>
-  bool Get(const LookupKey& key, V* out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool Get(const LookupKey& key, V* out) EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -47,9 +49,9 @@ class LruCache {
 
   /// Inserts or refreshes `key`, evicting the least-recently-used entry
   /// when the cache is full.
-  void Put(const K& key, V value) {
+  void Put(const K& key, V value) EXCLUDES(mutex_) {
     if (capacity_ == 0) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
@@ -64,30 +66,30 @@ class LruCache {
     index_[key] = entries_.begin();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return entries_.size();
   }
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t hits() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return hits_;
   }
-  uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t misses() const EXCLUDES(mutex_) {
+    MutexLock lock(&mutex_);
     return misses_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Most-recently-used first.
-  std::list<std::pair<K, V>> entries_;
+  std::list<std::pair<K, V>> entries_ GUARDED_BY(mutex_);
   std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator, Hash,
                      Eq>
-      index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+      index_ GUARDED_BY(mutex_);
+  uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace kgsearch

@@ -53,7 +53,13 @@ inline const char* StatusCodeName(StatusCode code) {
 /// Outcome of an operation: OK or an error code plus message.
 ///
 /// Cheap to copy in the OK case (no allocation); error messages allocate.
-class Status {
+///
+/// Class-level [[nodiscard]]: every function returning a Status by value
+/// is implicitly must-use, so a call site cannot silently drop an error —
+/// the compiler flags it (and -Werror fails the build). Handle the status
+/// or propagate it; never cast it to void (tools/check_invariants.py
+/// rejects that too).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -121,9 +127,10 @@ class Status {
   std::string message_;
 };
 
-/// Holds either a value of type T or an error Status.
+/// Holds either a value of type T or an error Status. [[nodiscard]] like
+/// Status: dropping a Result drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value.
   Result(T value) : value_(std::move(value)) {}  // NOLINT

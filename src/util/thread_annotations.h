@@ -1,0 +1,94 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// These macros expose Clang's -Wthread-safety attributes (a compile-time
+// proof of the locking discipline over ALL paths, not just the
+// interleavings a sanitizer happens to execute) while expanding to nothing
+// on compilers without the attributes (gcc, MSVC). Annotate:
+//
+//   - data with the lock that guards it:      int x_ GUARDED_BY(mutex_);
+//   - functions with the locks they need:     void F() REQUIRES(mutex_);
+//   - functions that must NOT hold a lock:    void G() EXCLUDES(mutex_);
+//   - lock-wrapper methods with their effect: void Lock() ACQUIRE();
+//
+// util/mutex.h provides the annotated Mutex / MutexLock / CondVar wrappers
+// every mutex-protected structure in this codebase uses; naked std::mutex
+// outside util/mutex.h is rejected by tools/check_invariants.py, and a
+// Clang build (CI job "static-analysis", or tools/run_static_analysis.sh)
+// compiles the tree with -Wthread-safety -Wthread-safety-beta -Werror.
+//
+// NO_THREAD_SAFETY_ANALYSIS is the escape hatch of last resort: it is
+// reserved for util/ internals whose correctness argument is genuinely
+// outside the lock model (check_invariants.py enforces that scope), and
+// every use must carry a one-line justification.
+#ifndef KGSEARCH_UTIL_THREAD_ANNOTATIONS_H_
+#define KGSEARCH_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define KGSEARCH_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define KGSEARCH_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex" names the kind).
+#define CAPABILITY(x) KGSEARCH_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY KGSEARCH_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data members: readable/writable only while holding the given lock.
+#define GUARDED_BY(x) KGSEARCH_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer members: the pointed-to data is protected by the given lock
+/// (the pointer itself may be read freely).
+#define PT_GUARDED_BY(x) KGSEARCH_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Functions: the caller must hold the given lock(s) exclusively.
+#define REQUIRES(...) \
+  KGSEARCH_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Functions: the caller must hold the given lock(s) at least shared.
+#define REQUIRES_SHARED(...) \
+  KGSEARCH_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Functions: the caller must NOT hold the given lock(s); the function may
+/// take them itself (deadlock-prevention annotation).
+#define EXCLUDES(...) \
+  KGSEARCH_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Lock-wrapper methods: acquires the lock (exclusively / shared).
+#define ACQUIRE(...) \
+  KGSEARCH_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  KGSEARCH_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Lock-wrapper methods: releases the lock (exclusive / shared / either).
+#define RELEASE(...) \
+  KGSEARCH_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  KGSEARCH_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  KGSEARCH_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Lock-wrapper methods: acquires the lock iff the returned value equals
+/// the first argument (e.g. TRY_ACQUIRE(true) for a bool TryLock()).
+#define TRY_ACQUIRE(...) \
+  KGSEARCH_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  KGSEARCH_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability
+/// (lets accessors expose a member mutex for annotation purposes).
+#define RETURN_CAPABILITY(x) KGSEARCH_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Asserts at runtime that the calling thread holds the capability, and
+/// tells the analysis to assume it from here on.
+#define ASSERT_CAPABILITY(x) \
+  KGSEARCH_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Escape hatch: skips analysis for one function. Reserved for util/
+/// internals (enforced by tools/check_invariants.py); justify every use.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  KGSEARCH_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // KGSEARCH_UTIL_THREAD_ANNOTATIONS_H_

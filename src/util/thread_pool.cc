@@ -9,19 +9,19 @@
 namespace kgsearch {
 
 void WaitGroup::Add(size_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   count_ += n;
 }
 
 void WaitGroup::Done() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   KG_CHECK(count_ > 0);
-  if (--count_ == 0) cv_.notify_all();
+  if (--count_ == 0) cv_.NotifyAll();
 }
 
 void WaitGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return count_ == 0; });
+  MutexLock lock(&mutex_);
+  while (count_ != 0) cv_.Wait(&mutex_);
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -34,10 +34,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -45,26 +45,26 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   std::future<void> fut = wrapped.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     KG_CHECK(!shutting_down_);
     tasks_.push(std::move(wrapped));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return fut;
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (shutting_down_) return false;
     tasks_.push(std::packaged_task<void()>(std::move(task)));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return tasks_.size();
 }
 
@@ -72,8 +72,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutting_down_ && tasks_.empty()) cv_.Wait(&mutex_);
       if (tasks_.empty()) return;  // shutting down and drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -117,8 +117,8 @@ void RunOnPool(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
     std::vector<std::function<void()>> tasks;
     std::atomic<size_t> next{0};
     WaitGroup wg;
-    std::mutex error_mutex;
-    std::exception_ptr error;
+    Mutex error_mutex;
+    std::exception_ptr error GUARDED_BY(error_mutex);
   };
   auto batch = std::make_shared<Batch>();
   batch->tasks = std::move(tasks);
@@ -134,7 +134,7 @@ void RunOnPool(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
       try {
         batch->tasks[i]();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(batch->error_mutex);
+        MutexLock lock(&batch->error_mutex);
         if (!batch->error) batch->error = std::current_exception();
       }
       batch->wg.Done();
@@ -150,7 +150,15 @@ void RunOnPool(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
   }
   drain();
   batch->wg.Wait();
-  if (batch->error) std::rethrow_exception(batch->error);
+  // The join above is the happens-before edge that publishes `error`, but
+  // the lock is what the analysis (and any future re-ordering of this
+  // code) can rely on — take it for the read.
+  std::exception_ptr error;
+  {
+    MutexLock lock(&batch->error_mutex);
+    error = batch->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace kgsearch

@@ -16,15 +16,16 @@
 #define KGSEARCH_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace kgsearch {
 
@@ -33,16 +34,16 @@ namespace kgsearch {
 class WaitGroup {
  public:
   /// Registers `n` more outstanding items.
-  void Add(size_t n);
+  void Add(size_t n) EXCLUDES(mutex_);
   /// Marks one item complete.
-  void Done();
+  void Done() EXCLUDES(mutex_);
   /// Blocks until every added item is done.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  size_t count_ = 0;
+  Mutex mutex_;
+  CondVar cv_;
+  size_t count_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Simple FIFO thread pool. Tasks may not block on other pool tasks;
@@ -58,26 +59,27 @@ class ThreadPool {
 
   /// Enqueues a task; the returned future resolves when it finishes.
   /// Fails a KG_CHECK when the pool is shutting down.
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Enqueues a task if the pool is accepting work; returns false (and
   /// drops the task) when the pool is shutting down. Used by batch helpers
   /// that can tolerate rejection because the caller runs the work itself.
-  bool TrySubmit(std::function<void()> task);
+  [[nodiscard]] bool TrySubmit(std::function<void()> task) EXCLUDES(mutex_);
 
+  /// Immutable after construction, so unguarded reads are safe.
   size_t num_threads() const { return workers_.size(); }
 
   /// Tasks enqueued but not yet started (a load signal, racy by nature).
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool shutting_down_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::packaged_task<void()>> tasks_ GUARDED_BY(mutex_);
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 /// Pool-sizing policy shared by every owner of a serving pool: `requested`

@@ -3,7 +3,10 @@
 // by a wire client.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/protocol.h"
 #include "api/session.h"
@@ -185,6 +188,45 @@ TEST(StatsEndpointTest, RateTrackerKeepsDatasetsIndependent) {
   ServiceStatsSnapshot b2 = b1;
   b2.uptime_seconds = 4.0;
   EXPECT_DOUBLE_EQ(tracker.Update("b", b2), 0.0);
+}
+
+// Regression companion to the annotation migration: StatsRateTracker's map
+// is GUARDED_BY its mutex and every /stats connection thread calls Update
+// concurrently. Hammer it from several threads over shared and private
+// dataset keys; under TSan (the server label in CI) any relapse to
+// unlocked map access is a hard failure, and the per-thread private key
+// checks prove updates are not lost or cross-contaminated.
+TEST(StatsEndpointTest, RateTrackerConcurrentUpdatesAreSafe) {
+  StatsRateTracker tracker;
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 500;
+  std::vector<std::thread> threads;
+  std::vector<double> final_private_rate(kThreads, -1.0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracker, &final_private_rate, t] {
+      const std::string private_key = "private-" + std::to_string(t);
+      double last = -1.0;
+      for (int i = 1; i <= kIterations; ++i) {
+        ServiceStatsSnapshot snap;
+        snap.queries_total = static_cast<uint64_t>(i);
+        snap.uptime_seconds = static_cast<double>(i);
+        snap.qps = 1.0;
+        // Contended key: correctness here is just "no torn state"; the
+        // interleaving makes the rate unpredictable but it must be finite.
+        const double shared_rate = tracker.Update("shared", snap);
+        EXPECT_TRUE(std::isfinite(shared_rate));
+        // Private key: strictly sequential from this thread's viewpoint,
+        // so every diff is exactly 1 query / 1 second.
+        last = tracker.Update(private_key, snap);
+        EXPECT_TRUE(std::isfinite(last));
+      }
+      final_private_rate[t] = last;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(final_private_rate[t], 1.0) << "thread " << t;
+  }
 }
 
 }  // namespace

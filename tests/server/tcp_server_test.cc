@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -262,6 +263,49 @@ TEST(TcpServerTest, StopClosesClientConnections) {
   Result<std::string> after = client.ReadLine();
   ASSERT_FALSE(after.ok());
   EXPECT_EQ(after.status().code(), StatusCode::kIOError);
+}
+
+// Regression for the Stop() teardown race fixed alongside the thread-safety
+// annotation migration: Stop() used to iterate `connections_` without the
+// connection lock. Correct at the time only because the accept thread had
+// already been joined — one refactor away from a data race, and invisible
+// to the compile-time analysis. Stop() now swaps the registry out under
+// conn_mutex_ before cancelling and joining. This test makes the race
+// window real: clients are mid-request and new connects are arriving while
+// Stop() runs (the server label runs under TSan in CI, which would flag a
+// relapse).
+TEST(TcpServerTest, StopWhileConnectionsActiveIsRaceFree) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  for (int round = 0; round < 3; ++round) {
+    TcpServer server(&session);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::atomic<bool> stop_workers{false};
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 4; ++i) {
+      workers.emplace_back([&server, &stop_workers] {
+        while (!stop_workers.load(std::memory_order_relaxed)) {
+          // Short read timeout: once Stop() lands these calls fail fast.
+          Result<NdjsonClient> client = NdjsonClient::Connect(
+              "127.0.0.1", server.port(), /*read_timeout_ms=*/250);
+          if (!client.ok()) continue;
+          for (int j = 0; j < 5; ++j) {
+            Result<std::string> answer =
+                client.ValueOrDie().Call("GET /healthz");
+            if (!answer.ok()) break;
+          }
+        }
+      });
+    }
+    // Let the workers establish traffic, then tear down underneath them.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.Stop();
+    EXPECT_FALSE(server.running());
+    stop_workers.store(true, std::memory_order_relaxed);
+    for (auto& worker : workers) worker.join();
+    server.Stop();  // still idempotent after a loaded shutdown
+  }
 }
 
 TEST(TcpServerTest, ServesDtoGraphRequestsAndTbqMode) {
