@@ -87,14 +87,21 @@ Result<std::vector<NodeId>> ExactMatchMethod::QueryTopK(
         return Status::NotFound(name_ + ": predicate labels no edges: " +
                                 std::string(g.PredicateName(p)));
       }
-      // Top-1 similar predicate among those with edges.
-      for (const SimilarPredicate& cand :
-           context_.space->TopSimilar(p, g.NumPredicates())) {
-        if (labels_edges[cand.predicate]) {
-          p = cand.predicate;
-          break;
-        }
-      }
+      // Top-1 similar predicate among those with edges: a single exact
+      // scan, folding the argmax inline — no top-k selection machinery.
+      // Strict > keeps the lowest id on ties, matching the sorted
+      // (similarity desc, id asc) order this replaced.
+      PredicateId best = kInvalidSymbol;
+      double best_sim = 0.0;
+      context_.space->SimilarityScan(
+          p, [&](PredicateId q, double sim) {
+            if (q >= labels_edges.size() || !labels_edges[q]) return;
+            if (best == kInvalidSymbol || sim > best_sim) {
+              best = q;
+              best_sim = sim;
+            }
+          });
+      if (best != kInvalidSymbol) p = best;
     }
     predicates[e] = p;
   }

@@ -17,9 +17,9 @@ SemanticWeights::SemanticWeights(const KnowledgeGraph* graph,
   for (size_t s = 0; s < stages; ++s) {
     rows_[s].resize(num_preds);
     PredicateId q = subquery->edge_predicates[s];
-    for (PredicateId p = 0; p < num_preds; ++p) {
-      rows_[s][p] = space->Weight(q, p);
-    }
+    // One contiguous pass over the SoA block per stage; bitwise-identical
+    // to the per-pair Weight() loop it replaces.
+    space->WeightRow(q, num_preds, rows_[s].data());
   }
   // Suffix maxima over stages, so m(u) can bound "any remaining stage".
   rowmax_.assign(stages, std::vector<double>(num_preds, kMinWeight));

@@ -1,0 +1,46 @@
+#include "embedding/negative_sampling.h"
+
+#include "embedding/simd_kernels.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+NegativeScorer::NegativeScorer(size_t dim, size_t max_candidates)
+    : block_(max_candidates, dim), query_(2, dim) {
+  KG_CHECK(dim > 0 && max_candidates > 0);
+  scale_.resize(max_candidates);
+  scores_.resize(max_candidates);
+}
+
+void NegativeScorer::GatherNormalized(const std::vector<FloatVec>& entity,
+                                      const std::vector<NodeId>& ids) {
+  KG_CHECK(ids.size() <= block_.size());
+  count_ = ids.size();
+  for (size_t i = 0; i < count_; ++i) {
+    KG_CHECK(ids[i] < entity.size());
+    gather_scratch_ = entity[ids[i]];
+    NormalizeInPlace(&gather_scratch_);
+    block_.SetRow(i, gather_scratch_.data(), gather_scratch_.size());
+  }
+}
+
+const float* NegativeScorer::ScoreL2Sq(const FloatVec& q) {
+  query_.SetRow(0, q.data(), q.size());
+  simd::L2SqBatch(query_.Row(0), block_.data(), count_, block_.stride(),
+                  scores_.data());
+  return scores_.data();
+}
+
+const float* NegativeScorer::ScoreProjectedL2Sq(const FloatVec& q,
+                                                const FloatVec& w) {
+  query_.SetRow(0, q.data(), q.size());
+  query_.SetRow(1, w.data(), w.size());
+  simd::DotBatch(query_.Row(1), block_.data(), count_, block_.stride(),
+                 scale_.data());
+  simd::L2SqShiftBatch(query_.Row(0), query_.Row(1), scale_.data(),
+                       block_.data(), count_, block_.stride(),
+                       scores_.data());
+  return scores_.data();
+}
+
+}  // namespace kgsearch

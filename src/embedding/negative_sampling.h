@@ -1,0 +1,62 @@
+// Batched negative-candidate scoring for the embedding trainers.
+//
+// TransE/TransH draw corrupted triples during training; with
+// `negative_candidates` > 1 in the trainer config, each positive draws a
+// pool of C candidates and keeps the HARDEST one — the lowest-scoring
+// non-fact, i.e. the corruption the current model finds most plausible.
+// Scoring C candidates one FloatVec at a time would re-introduce exactly
+// the pointer-chasing the SoA store removes, so this helper gathers the
+// candidate entity vectors into a scratch VectorStore block and scores
+// them with the batched kernels (embedding/simd_kernels.h) in one pass.
+//
+// Scores here are float and SELECTION-ONLY: whichever candidate wins, the
+// actual SGD step still runs the exact double-accumulated scalar path in
+// the trainer. At the default negative_candidates = 1 the trainers never
+// construct this class and behave bit-identically to before it existed.
+#ifndef KGSEARCH_EMBEDDING_NEGATIVE_SAMPLING_H_
+#define KGSEARCH_EMBEDDING_NEGATIVE_SAMPLING_H_
+
+#include <vector>
+
+#include "embedding/vector_math.h"
+#include "embedding/vector_store.h"
+#include "kg/graph.h"
+
+namespace kgsearch {
+
+class NegativeScorer {
+ public:
+  /// Scratch sized for up to `max_candidates` candidates of `dim` floats.
+  NegativeScorer(size_t dim, size_t max_candidates);
+
+  /// Copies the entity vectors for `ids` into the scratch block,
+  /// unit-normalizing each COPY (the trainers project entities to the unit
+  /// ball before use, so scoring the projected form matches what the SGD
+  /// step will see; the live embedding rows are not touched).
+  void GatherNormalized(const std::vector<FloatVec>& entity,
+                        const std::vector<NodeId>& ids);
+
+  size_t count() const { return count_; }
+
+  /// scores[i] = ||q - cand_i||^2 for the gathered candidates. TransE:
+  /// tail corruption scores q = h + r, head corruption q = t - r (since
+  /// ||h' + r - t||^2 = ||h' - (t - r)||^2).
+  const float* ScoreL2Sq(const FloatVec& q);
+
+  /// scores[i] = sum_j (q[j] - cand_i[j] + <w, cand_i> * w[j])^2 — the
+  /// TransH projected distance with the candidate on the corrupted side.
+  /// Tail corruption: q = h_perp + d; head corruption: q = t_perp - d.
+  const float* ScoreProjectedL2Sq(const FloatVec& q, const FloatVec& w);
+
+ private:
+  VectorStore block_;  // candidate rows, stride-padded for the kernels
+  VectorStore query_;  // row 0: padded q, row 1: padded w
+  size_t count_ = 0;
+  FloatVec gather_scratch_;
+  std::vector<float> scale_;
+  std::vector<float> scores_;
+};
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_EMBEDDING_NEGATIVE_SAMPLING_H_

@@ -4,14 +4,26 @@
 // similarity queries between predicates (Eq. 5). Weights entering the
 // semantic graph are clamped to [kMinWeight, 1] so the geometric-mean pss
 // (Eq. 6) stays well defined.
+//
+// Storage and query design: the vectors live in one contiguous SoA block
+// (embedding/vector_store.h) with per-row L2 norms precomputed at
+// construction. TopSimilar scans that block with the batched float kernels
+// (embedding/simd_kernels.h) to SELECT a candidate set, then re-ranks the
+// survivors with the exact double-accumulated scalar dot — the float pass
+// keeps every candidate within a proven error margin of the running kth
+// score, so the final answer is bit-identical to a full scalar scan.
+// Cosine(), Weight(), and SimilarityScan() always use the exact scalar
+// arithmetic directly.
 #ifndef KGSEARCH_EMBEDDING_PREDICATE_SPACE_H_
 #define KGSEARCH_EMBEDDING_PREDICATE_SPACE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "embedding/transe.h"
 #include "embedding/vector_math.h"
+#include "embedding/vector_store.h"
 #include "kg/graph.h"
 #include "util/status.h"
 
@@ -27,7 +39,7 @@ struct SimilarPredicate {
   double similarity;
 };
 
-/// Immutable predicate semantic space with cached pairwise similarities.
+/// Immutable predicate semantic space over a contiguous SoA vector block.
 class PredicateSpace {
  public:
   /// Builds from explicit vectors, one per predicate id (normalized copies
@@ -44,14 +56,20 @@ class PredicateSpace {
   static PredicateSpace FromNormalized(std::vector<FloatVec> vectors,
                                        std::vector<std::string> names);
 
-  size_t NumPredicates() const { return vectors_.size(); }
+  /// Trusted restore path that adopts an already-populated store directly
+  /// (the kgpack reader streams rows straight into the flat block).
+  static PredicateSpace FromStore(VectorStore store,
+                                  std::vector<std::string> names);
+
+  size_t NumPredicates() const { return store_.size(); }
   const std::string& PredicateName(PredicateId p) const {
     KG_CHECK(p < names_.size());
     return names_[p];
   }
-  const FloatVec& Vector(PredicateId p) const {
-    KG_CHECK(p < vectors_.size());
-    return vectors_[p];
+  /// Copy of predicate p's stored vector at logical dimension.
+  FloatVec Vector(PredicateId p) const {
+    KG_CHECK(p < store_.size());
+    return store_.RowVec(p);
   }
 
   /// Raw cosine similarity in [-1, 1].
@@ -65,8 +83,22 @@ class PredicateSpace {
     return c;
   }
 
-  /// The `n` predicates most similar to `p` (excluding `p`), descending.
+  /// Fills out[p] = Weight(q, p) for p in [0, count). Bitwise-identical to
+  /// calling Weight per pair; one contiguous pass over the block instead of
+  /// count random row touches.
+  void WeightRow(PredicateId q, size_t count, double* out) const;
+
+  /// The `n` predicates most similar to `p` (excluding `p`), descending,
+  /// ties broken by ascending predicate id. Kernel-pruned but bit-identical
+  /// to an exact full scan (see file comment).
   std::vector<SimilarPredicate> TopSimilar(PredicateId p, size_t n) const;
+
+  /// Streams (q, Cosine(p, q)) for every q != p in ascending id order —
+  /// exact scalar similarities, no sorting and no top-k machinery. For
+  /// callers (baselines) that fold over all similarities themselves.
+  void SimilarityScan(
+      PredicateId p,
+      const std::function<void(PredicateId, double)>& fn) const;
 
   /// Text serialization: one line per predicate, "name dim v1 v2 ...".
   std::string Serialize() const;
@@ -77,15 +109,22 @@ class PredicateSpace {
   static Result<PredicateSpace> Deserialize(std::string_view text,
                                             const KnowledgeGraph* graph);
 
-  /// Stored (unit-normalized) vectors and names, for snapshot encoding.
-  const std::vector<FloatVec>& vectors() const { return vectors_; }
+  /// The underlying SoA block (unit-normalized rows) and names, for
+  /// snapshot encoding and batched scoring.
+  const VectorStore& store() const { return store_; }
   const std::vector<std::string>& names() const { return names_; }
 
  private:
   PredicateSpace() = default;
 
-  std::vector<FloatVec> vectors_;  // unit-normalized
+  /// Computes norms_/max_norm_ from store_; every construction path ends
+  /// here.
+  void InitDerived();
+
+  VectorStore store_;  // unit-normalized rows
   std::vector<std::string> names_;
+  std::vector<float> norms_;  // per-row L2 norms for the float kernels
+  double max_norm_ = 0.0;
 };
 
 }  // namespace kgsearch

@@ -28,6 +28,12 @@ struct TransEConfig {
   uint64_t seed = 42;
   /// Corrupt head or tail with equal probability ("unif" strategy).
   bool corrupt_head_and_tail = true;
+  /// Corruption candidates drawn per positive triple. 1 (the default)
+  /// reproduces the historical single-draw behavior exactly. C > 1 draws C
+  /// uniform candidates, scores them in one batched kernel pass
+  /// (embedding/negative_sampling.h), and keeps the hardest — the
+  /// lowest-scoring candidate that is not a stored fact.
+  size_t negative_candidates = 1;
 };
 
 /// Learned embedding: one vector per entity and per predicate.

@@ -22,6 +22,9 @@ struct TransHConfig {
   /// Weight of the soft orthogonality constraint |w_r^T d_r| / ||d_r||.
   double orthogonality_weight = 0.25;
   uint64_t seed = 42;
+  /// Corruption candidates per positive; same semantics as
+  /// TransEConfig::negative_candidates (1 = historical behavior).
+  size_t negative_candidates = 1;
 };
 
 /// Learned TransH embedding. The predicate semantic space uses the

@@ -1,0 +1,94 @@
+// Contiguous structure-of-arrays embedding storage.
+//
+// A VectorStore holds `size()` embedding rows of logical dimensionality
+// `dim()` in ONE aligned flat float buffer. Rows are padded with zeros to
+// `stride()` floats (a multiple of kStrideMultiple) so that
+//   - every row starts on a kAlignment-byte boundary, and
+//   - batched kernels (embedding/simd_kernels.h) can process whole rows in
+//     fixed-width lane groups without scalar tail loops.
+//
+// The padding contract matters for correctness, not just speed: the
+// kernels run over the full stride, and a zero pad contributes exactly
+// 0.0f to dot products and squared distances, so padded results equal
+// logical-dim results bit-for-bit. SetRow re-zeroes the pad, keeping the
+// invariant through mutation.
+//
+// This is the storage the serving hot paths scan (predicate cosine
+// selection in PredicateSpace, TransE/TransH batched negative scoring);
+// the old representation — one heap-allocated std::vector<float> per row —
+// survives only at API boundaries (construction, serialization).
+#ifndef KGSEARCH_EMBEDDING_VECTOR_STORE_H_
+#define KGSEARCH_EMBEDDING_VECTOR_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "embedding/vector_math.h"
+#include "util/status.h"
+
+namespace kgsearch {
+
+class VectorStore {
+ public:
+  /// Byte alignment of the buffer and (via stride padding) of every row.
+  static constexpr size_t kAlignment = 64;
+  /// Rows are padded to a multiple of this many floats; 16 floats * 4 bytes
+  /// = one 64-byte cache line, and a multiple of every kernel lane width.
+  static constexpr size_t kStrideMultiple = 16;
+
+  /// Empty store (size 0, dim 0).
+  VectorStore() = default;
+
+  /// `count` zero-filled rows of logical dimension `dim`.
+  VectorStore(size_t count, size_t dim);
+
+  /// Copies `rows` (all must share one dimension) into a fresh store.
+  static VectorStore FromVectors(const std::vector<FloatVec>& rows);
+
+  VectorStore(const VectorStore& other);
+  VectorStore& operator=(const VectorStore& other);
+  VectorStore(VectorStore&& other) noexcept;
+  VectorStore& operator=(VectorStore&& other) noexcept;
+
+  size_t size() const { return count_; }
+  size_t dim() const { return dim_; }
+  /// Padded row width in floats; row i starts at data() + i * stride().
+  size_t stride() const { return stride_; }
+  bool empty() const { return count_ == 0; }
+
+  const float* data() const { return data_.get(); }
+  const float* Row(size_t i) const {
+    KG_CHECK(i < count_);
+    return data_.get() + i * stride_;
+  }
+  float* MutableRow(size_t i) {
+    KG_CHECK(i < count_);
+    return data_.get() + i * stride_;
+  }
+
+  /// Overwrites row i with `n` floats (n must equal dim()); the pad stays
+  /// zero.
+  void SetRow(size_t i, const float* src, size_t n);
+
+  /// Copy of row i at logical dimension (pad stripped).
+  FloatVec RowVec(size_t i) const;
+
+ private:
+  struct AlignedDeleter {
+    void operator()(float* p) const;
+  };
+
+  size_t count_ = 0;
+  size_t dim_ = 0;
+  size_t stride_ = 0;
+  std::unique_ptr<float[], AlignedDeleter> data_;
+};
+
+/// L2 norm per row, accumulated in double then narrowed to float (the
+/// precision the selection-margin math in PredicateSpace budgets for).
+std::vector<float> ComputeRowNormsL2(const VectorStore& store);
+
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_EMBEDDING_VECTOR_STORE_H_

@@ -747,4 +747,16 @@ ScaleKgSpec ScaleSpecFor(uint64_t num_nodes, uint64_t seed) {
   return spec;
 }
 
+VectorStore GenerateEmbeddingBlock(size_t count, size_t dim, uint64_t seed) {
+  VectorStore store(count, dim);
+  for (size_t i = 0; i < count; ++i) {
+    // One independent stream per row, like the graph's per-node functions:
+    // row i is reproducible regardless of how many rows are generated.
+    FastRng rng(MixSeed(seed + kVectorSalt, i));
+    const FloatVec v = RandomUnitVec(dim, &rng);
+    store.SetRow(i, v.data(), v.size());
+  }
+  return store;
+}
+
 }  // namespace kgsearch

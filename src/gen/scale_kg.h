@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "embedding/vector_store.h"
 #include "kg/snapshot.h"
 #include "util/status.h"
 
@@ -168,6 +169,13 @@ InsightProfile MakeInsightProfile(const ScaleKgSpec& spec);
 /// graph so per-type candidate sets stay search-friendly. The benchmark
 /// scales (10k / 100k / 1M) all come from here.
 ScaleKgSpec ScaleSpecFor(uint64_t num_nodes, uint64_t seed = 42);
+
+/// A deterministic SoA block of `count` unit vectors of dimension `dim`
+/// for kernel benchmarks and differential tests. Row i is a pure function
+/// of (seed, i) — the same per-id FastRng stream discipline the graph
+/// generator uses — so any (count, dim, seed) triple reproduces
+/// bit-identically across runs, and row i does not depend on count.
+VectorStore GenerateEmbeddingBlock(size_t count, size_t dim, uint64_t seed);
 
 }  // namespace kgsearch
 

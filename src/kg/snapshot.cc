@@ -171,7 +171,7 @@ void WriteSpaceSection(const PredicateSpace& space, BinaryWriter* out) {
   out->WriteU64(space.NumPredicates());
   for (PredicateId p = 0; p < space.NumPredicates(); ++p) {
     out->WriteString(space.names()[p]);
-    out->WriteVector(space.vectors()[p]);
+    out->WriteVector(space.Vector(p));
   }
 }
 
@@ -182,15 +182,24 @@ Result<std::unique_ptr<PredicateSpace>> ReadSpaceSection(BinaryReader* in) {
     return Status::ParseError("predicate count exceeds input size");
   }
   std::vector<std::string> names(count);
-  std::vector<FloatVec> vectors(count);
+  VectorStore store;
+  FloatVec row;
   for (uint64_t p = 0; p < count; ++p) {
     KG_RETURN_NOT_OK(in->ReadString(&names[p]));
-    KG_RETURN_NOT_OK(in->ReadVector(&vectors[p]));
+    KG_RETURN_NOT_OK(in->ReadVector(&row));
+    // The first row fixes the store geometry; later rows stream straight
+    // into the flat block. Verbatim install — vectors were normalized when
+    // the saved space was built, and re-normalizing would perturb the
+    // float bits.
+    if (p == 0) store = VectorStore(count, row.size());
+    if (row.size() != store.dim()) {
+      return Status::ParseError(
+          "predicate vector dimension mismatch in kgpack space section");
+    }
+    store.SetRow(p, row.data(), row.size());
   }
-  // Verbatim install: vectors were normalized when the saved space was
-  // built, and re-normalizing would perturb the float bits.
   return std::make_unique<PredicateSpace>(
-      PredicateSpace::FromNormalized(std::move(vectors), std::move(names)));
+      PredicateSpace::FromStore(std::move(store), std::move(names)));
 }
 
 /// The save-side and load-side consistency contract between the graph and

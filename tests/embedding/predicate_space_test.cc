@@ -47,6 +47,70 @@ TEST(PredicateSpaceTest, TopSimilarOrderingAndExclusion) {
   EXPECT_EQ(space.TopSimilar(0, 1).size(), 1u);
 }
 
+TEST(PredicateSpaceTest, TopSimilarTieBreaksByAscendingId) {
+  // Duplicate vectors create exact score ties; the contract (historically
+  // from partial_sort's comparator, now from TopKHeap insertion order) is
+  // ascending predicate id among ties.
+  std::vector<FloatVec> vecs = {
+      {1.0f, 0.0f},  // query
+      {0.0f, 1.0f},  // orthogonal
+      {1.0f, 1.0f},  // dup A
+      {1.0f, 1.0f},  // dup B (same bits as A)
+      {1.0f, 1.0f},  // dup C
+  };
+  PredicateSpace space(std::move(vecs), {"q", "o", "a", "b", "c"});
+  auto top = space.TopSimilar(0, 5);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0].predicate, 2u);
+  EXPECT_EQ(top[1].predicate, 3u);
+  EXPECT_EQ(top[2].predicate, 4u);
+  EXPECT_EQ(top[3].predicate, 1u);
+  EXPECT_EQ(top[0].similarity, top[1].similarity);
+  EXPECT_EQ(top[1].similarity, top[2].similarity);
+  // Truncation keeps the same prefix.
+  auto top2 = space.TopSimilar(0, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].predicate, 2u);
+  EXPECT_EQ(top2[1].predicate, 3u);
+}
+
+TEST(PredicateSpaceTest, SimilarityScanVisitsAllOthersInOrder) {
+  PredicateSpace space = MakeAxisSpace();
+  std::vector<PredicateId> visited;
+  space.SimilarityScan(1, [&](PredicateId q, double sim) {
+    visited.push_back(q);
+    EXPECT_EQ(sim, space.Cosine(1, q)) << "q=" << q;
+  });
+  EXPECT_EQ(visited, (std::vector<PredicateId>{0, 2, 3}));
+}
+
+TEST(PredicateSpaceTest, WeightRowMatchesWeightBitwise) {
+  PredicateSpace space = MakeAxisSpace();
+  std::vector<double> row(space.NumPredicates());
+  for (PredicateId q = 0; q < space.NumPredicates(); ++q) {
+    space.WeightRow(q, row.size(), row.data());
+    for (PredicateId p = 0; p < space.NumPredicates(); ++p) {
+      EXPECT_EQ(row[p], space.Weight(q, p)) << "q=" << q << " p=" << p;
+    }
+  }
+}
+
+TEST(PredicateSpaceTest, StoreExposesNormalizedRows) {
+  PredicateSpace space = MakeAxisSpace();
+  const VectorStore& store = space.store();
+  EXPECT_EQ(store.size(), space.NumPredicates());
+  EXPECT_EQ(store.dim(), 3u);
+  EXPECT_EQ(store.stride() % 16, 0u);
+  for (PredicateId p = 0; p < space.NumPredicates(); ++p) {
+    EXPECT_EQ(store.RowVec(p), space.Vector(p));
+  }
+}
+
+TEST(PredicateSpaceTest, DeserializeRejectsMixedDimensions) {
+  EXPECT_FALSE(
+      PredicateSpace::Deserialize("p1 2 1 0\np2 3 0 1 0\n", nullptr).ok());
+}
+
 TEST(PredicateSpaceTest, SerializeRoundTrip) {
   PredicateSpace space = MakeAxisSpace();
   auto parsed = PredicateSpace::Deserialize(space.Serialize(), nullptr);

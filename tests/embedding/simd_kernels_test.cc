@@ -1,0 +1,253 @@
+// Differential suite for the batch kernels: the dispatched (possibly SIMD)
+// path must return floats BIT-IDENTICAL to the always-compiled scalar
+// references, on random and adversarial inputs — denormals, dims that are
+// not lane multiples, zero vectors, P in {0, 1}. A second layer checks the
+// float results against double ground truth within DotErrorBound, the
+// margin PredicateSpace's pruned top-k relies on.
+#include "embedding/simd_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "embedding/vector_store.h"
+#include "util/rng.h"
+
+namespace kgsearch {
+namespace {
+
+/// Bit-pattern comparison: the contract is identical BITS, which is both
+/// stricter than == (distinguishes +0/-0) and NaN-safe (a NaN produced
+/// identically on both paths compares equal).
+uint32_t FloatBits(float x) {
+  uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+#define EXPECT_BIT_EQ(a, b) EXPECT_EQ(FloatBits(a), FloatBits(b))
+
+struct KernelInput {
+  VectorStore block;      // P rows
+  FloatVec q_logical;     // logical-dim query
+  VectorStore q_store;    // row 0: padded query, row 1: padded w
+  FloatVec w_logical;
+  std::vector<float> scale;
+};
+
+/// Random input at (dim, count), with `flavor` selecting an adversarial
+/// variant. Values come from per-(flavor,row) FastRng streams.
+KernelInput MakeInput(size_t dim, size_t count, int flavor) {
+  KernelInput in;
+  in.block = VectorStore(count, dim);
+  in.q_store = VectorStore(2, dim);
+  auto fill = [&](FloatVec* v, uint64_t stream) {
+    FastRng rng(MixSeed(0xC0FFEE + static_cast<uint64_t>(flavor), stream));
+    v->resize(dim);
+    for (float& x : *v) {
+      switch (flavor) {
+        case 0:  // unit-scale random
+          x = static_cast<float>(rng.UniformReal(-1.0, 1.0));
+          break;
+        case 1:  // denormal products: tiny magnitudes
+          x = static_cast<float>(rng.UniformReal(-1.0, 1.0)) * 1e-22f;
+          break;
+        case 2:  // large magnitudes
+          x = static_cast<float>(rng.UniformReal(-1.0, 1.0)) * 1e18f;
+          break;
+        case 3:  // exact zeros
+          x = 0.0f;
+          break;
+        default:  // mixed: zeros interleaved with values
+          x = rng.Bernoulli(0.5)
+                  ? 0.0f
+                  : static_cast<float>(rng.UniformReal(-2.0, 2.0));
+          break;
+      }
+    }
+  };
+  FloatVec row;
+  for (size_t i = 0; i < count; ++i) {
+    fill(&row, i);
+    in.block.SetRow(i, row.data(), row.size());
+  }
+  fill(&in.q_logical, count + 1);
+  fill(&in.w_logical, count + 2);
+  in.q_store.SetRow(0, in.q_logical.data(), in.q_logical.size());
+  in.q_store.SetRow(1, in.w_logical.data(), in.w_logical.size());
+  in.scale.resize(count);
+  FastRng srng(MixSeed(0x5CA1E + static_cast<uint64_t>(flavor), count));
+  for (float& s : in.scale) {
+    s = static_cast<float>(srng.UniformReal(-1.0, 1.0));
+  }
+  return in;
+}
+
+const size_t kDims[] = {1, 3, 7, 8, 9, 16, 17, 31, 64, 128};
+const size_t kCounts[] = {0, 1, 2, 5, 33};
+const int kFlavors = 5;
+
+TEST(SimdKernelsTest, BackendNameIsKnown) {
+  const std::string backend = simd::KernelBackend();
+  EXPECT_TRUE(backend == "avx2" || backend == "neon" || backend == "scalar")
+      << backend;
+}
+
+TEST(SimdKernelsTest, ReduceLanesUsesFixedTree) {
+  const float lanes[8] = {1e8f, 1.0f, -1e8f, 2.0f, 0.5f, 0.25f, 4.0f, 8.0f};
+  const float expected =
+      ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+      ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  EXPECT_EQ(simd::ReduceLanes(lanes), expected);
+}
+
+TEST(SimdKernelsTest, DotBatchBitIdenticalToReference) {
+  for (size_t dim : kDims) {
+    for (size_t count : kCounts) {
+      for (int flavor = 0; flavor < kFlavors; ++flavor) {
+        KernelInput in = MakeInput(dim, count, flavor);
+        std::vector<float> fast(count), ref(count);
+        simd::DotBatch(in.q_store.Row(0), in.block.data(), count,
+                       in.block.stride(), fast.data());
+        simd::DotBatchRef(in.q_store.Row(0), in.block.data(), count,
+                          in.block.stride(), ref.data());
+        for (size_t i = 0; i < count; ++i) {
+          EXPECT_BIT_EQ(fast[i], ref[i]) << "dim=" << dim << " count=" << count
+                                     << " flavor=" << flavor << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, L2SqBatchBitIdenticalToReference) {
+  for (size_t dim : kDims) {
+    for (size_t count : kCounts) {
+      for (int flavor = 0; flavor < kFlavors; ++flavor) {
+        KernelInput in = MakeInput(dim, count, flavor);
+        std::vector<float> fast(count), ref(count);
+        simd::L2SqBatch(in.q_store.Row(0), in.block.data(), count,
+                        in.block.stride(), fast.data());
+        simd::L2SqBatchRef(in.q_store.Row(0), in.block.data(), count,
+                           in.block.stride(), ref.data());
+        for (size_t i = 0; i < count; ++i) {
+          EXPECT_BIT_EQ(fast[i], ref[i]) << "dim=" << dim << " count=" << count
+                                     << " flavor=" << flavor << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, L2SqShiftBatchBitIdenticalToReference) {
+  for (size_t dim : kDims) {
+    for (size_t count : kCounts) {
+      for (int flavor = 0; flavor < kFlavors; ++flavor) {
+        KernelInput in = MakeInput(dim, count, flavor);
+        std::vector<float> fast(count), ref(count);
+        simd::L2SqShiftBatch(in.q_store.Row(0), in.q_store.Row(1),
+                             in.scale.data(), in.block.data(), count,
+                             in.block.stride(), fast.data());
+        simd::L2SqShiftBatchRef(in.q_store.Row(0), in.q_store.Row(1),
+                                in.scale.data(), in.block.data(), count,
+                                in.block.stride(), ref.data());
+        for (size_t i = 0; i < count; ++i) {
+          EXPECT_BIT_EQ(fast[i], ref[i]) << "dim=" << dim << " count=" << count
+                                     << " flavor=" << flavor << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, CosineBatchBitIdenticalToReference) {
+  for (size_t dim : kDims) {
+    for (size_t count : kCounts) {
+      for (int flavor = 0; flavor < kFlavors; ++flavor) {
+        KernelInput in = MakeInput(dim, count, flavor);
+        std::vector<float> norms = ComputeRowNormsL2(in.block);
+        const float q_norm = static_cast<float>(Norm(in.q_logical));
+        std::vector<float> fast(count), ref(count);
+        simd::CosineBatch(in.q_store.Row(0), q_norm, in.block.data(),
+                          norms.data(), count, in.block.stride(), fast.data());
+        simd::CosineBatchRef(in.q_store.Row(0), q_norm, in.block.data(),
+                             norms.data(), count, in.block.stride(),
+                             ref.data());
+        for (size_t i = 0; i < count; ++i) {
+          EXPECT_BIT_EQ(fast[i], ref[i]) << "dim=" << dim << " count=" << count
+                                     << " flavor=" << flavor << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, DotBlockBitIdenticalToReference) {
+  for (size_t dim : {3u, 16u, 33u}) {
+    KernelInput a = MakeInput(dim, 7, 0);
+    KernelInput b = MakeInput(dim, 5, 4);
+    std::vector<float> fast(7 * 5), ref(7 * 5);
+    simd::DotBlock(a.block.data(), a.block.size(), b.block.data(),
+                   b.block.size(), a.block.stride(), fast.data());
+    simd::DotBlockRef(a.block.data(), a.block.size(), b.block.data(),
+                      b.block.size(), a.block.stride(), ref.data());
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_BIT_EQ(fast[i], ref[i]) << "dim=" << dim << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ZeroPaddedResultEqualsLogicalResult) {
+  // dim 7 pads to stride 16; the pad must contribute exactly nothing, so a
+  // kernel over the padded rows equals a plain scalar loop over dim floats.
+  KernelInput in = MakeInput(7, 9, 0);
+  std::vector<float> fast(9);
+  simd::DotBatch(in.q_store.Row(0), in.block.data(), 9, in.block.stride(),
+                 fast.data());
+  for (size_t i = 0; i < 9; ++i) {
+    float lanes[simd::kAccumLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+    const float* row = in.block.Row(i);
+    const float* q = in.q_store.Row(0);
+    // Logical elements land in lanes (j % 8) exactly as in the kernel.
+    for (size_t j = 0; j < 7; ++j) lanes[j % 8] += q[j] * row[j];
+    EXPECT_EQ(fast[i], simd::ReduceLanes(lanes)) << "row " << i;
+  }
+}
+
+TEST(SimdKernelsTest, DotWithinErrorBoundOfDoubleGroundTruth) {
+  for (size_t dim : kDims) {
+    for (int flavor : {0, 1, 4}) {
+      KernelInput in = MakeInput(dim, 33, flavor);
+      std::vector<float> fast(33);
+      simd::DotBatch(in.q_store.Row(0), in.block.data(), 33,
+                     in.block.stride(), fast.data());
+      const double qn = Norm(in.q_logical);
+      for (size_t i = 0; i < 33; ++i) {
+        const FloatVec row = in.block.RowVec(i);
+        const double exact = Dot(in.q_logical, row);
+        const double bound = simd::DotErrorBound(dim, qn, Norm(row));
+        EXPECT_LE(std::abs(static_cast<double>(fast[i]) - exact), bound)
+            << "dim=" << dim << " flavor=" << flavor << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, CountZeroAndStrideZeroAreSafe) {
+  // count == 0: no output slots touched (call must simply not crash).
+  simd::DotBatch(nullptr, nullptr, 0, 16, nullptr);
+  simd::L2SqBatchRef(nullptr, nullptr, 0, 16, nullptr);
+  // dim 0 store: stride 0, every dot is the empty sum.
+  VectorStore store(3, 0);
+  float out[3] = {1.0f, 1.0f, 1.0f};
+  simd::DotBatch(store.data(), store.data(), 3, store.stride(), out);
+  for (float x : out) EXPECT_EQ(x, 0.0f);
+}
+
+}  // namespace
+}  // namespace kgsearch

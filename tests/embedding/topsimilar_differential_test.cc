@@ -1,0 +1,137 @@
+// Bit-identity differential suite for the SoA/kernel-pruned TopSimilar
+// path. The reference implementation below is the PRE-MIGRATION algorithm
+// verbatim — per-predicate FloatVecs, vector_math::Dot (sequential double
+// accumulation), std::partial_sort with the (similarity desc, id asc)
+// comparator — so every EXPECT_EQ proves the pruned path returns the same
+// bits the old code did. Runs on the hand-placed car fixture and on a
+// 100k-node scale_kg graph, plus a kgpack round-trip into the flat store.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "embedding/predicate_space.h"
+#include "gen/scale_kg.h"
+#include "kg/snapshot.h"
+#include "testing/car_fixture.h"
+
+namespace kgsearch {
+namespace {
+
+/// The pre-PR TopSimilar, reconstructed over Vector(p) copies.
+std::vector<SimilarPredicate> ReferenceTopSimilar(const PredicateSpace& space,
+                                                  PredicateId p, size_t n) {
+  std::vector<FloatVec> vecs;
+  vecs.reserve(space.NumPredicates());
+  for (PredicateId q = 0; q < space.NumPredicates(); ++q) {
+    vecs.push_back(space.Vector(q));
+  }
+  std::vector<SimilarPredicate> all;
+  all.reserve(vecs.size());
+  for (PredicateId q = 0; q < vecs.size(); ++q) {
+    if (q == p) continue;
+    all.push_back(SimilarPredicate{q, Dot(vecs[p], vecs[q])});
+  }
+  size_t keep = std::min(n, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<int64_t>(keep),
+                    all.end(),
+                    [](const SimilarPredicate& x, const SimilarPredicate& y) {
+                      if (x.similarity != y.similarity) {
+                        return x.similarity > y.similarity;
+                      }
+                      return x.predicate < y.predicate;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+void ExpectTopSimilarBitIdentical(const PredicateSpace& space) {
+  const size_t total = space.NumPredicates();
+  const size_t ns[] = {1, 2, 3, 10, total, total + 5};
+  for (PredicateId p = 0; p < total; ++p) {
+    for (size_t n : ns) {
+      auto got = space.TopSimilar(p, n);
+      auto want = ReferenceTopSimilar(space, p, n);
+      ASSERT_EQ(got.size(), want.size()) << "p=" << p << " n=" << n;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].predicate, want[i].predicate)
+            << "p=" << p << " n=" << n << " i=" << i;
+        // Bitwise, not approximate: the doubles must be identical.
+        EXPECT_EQ(got[i].similarity, want[i].similarity)
+            << "p=" << p << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+void ExpectWeightsBitIdentical(const PredicateSpace& space) {
+  const size_t total = space.NumPredicates();
+  std::vector<FloatVec> vecs;
+  for (PredicateId q = 0; q < total; ++q) vecs.push_back(space.Vector(q));
+  std::vector<double> row(total);
+  for (PredicateId a = 0; a < total; ++a) {
+    space.WeightRow(a, total, row.data());
+    for (PredicateId b = 0; b < total; ++b) {
+      const double dot = (a == b) ? 1.0 : Dot(vecs[a], vecs[b]);
+      const double want =
+          dot < kMinWeight ? kMinWeight : (dot > 1.0 ? 1.0 : dot);
+      EXPECT_EQ(space.Cosine(a, b), (a == b) ? 1.0 : dot);
+      EXPECT_EQ(space.Weight(a, b), want);
+      EXPECT_EQ(row[b], want);
+    }
+  }
+}
+
+TEST(TopSimilarDifferentialTest, CarFixtureBitIdentical) {
+  testing_fixture::CarParts parts = testing_fixture::MakeCarParts();
+  ExpectTopSimilarBitIdentical(*parts.space);
+  ExpectWeightsBitIdentical(*parts.space);
+}
+
+TEST(TopSimilarDifferentialTest, CarFixtureKgpackRoundTripBitIdentical) {
+  testing_fixture::CarParts parts = testing_fixture::MakeCarParts();
+  Result<std::string> bytes =
+      EncodeSnapshot(*parts.graph, *parts.space, parts.library);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  Result<DatasetSnapshot> decoded = DecodeSnapshot(bytes.ValueOrDie());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const PredicateSpace& restored = *decoded.ValueOrDie().space;
+  ASSERT_EQ(restored.NumPredicates(), parts.space->NumPredicates());
+  for (PredicateId p = 0; p < restored.NumPredicates(); ++p) {
+    // Rows stream straight into the flat store; bits must survive.
+    EXPECT_EQ(restored.Vector(p), parts.space->Vector(p)) << "p=" << p;
+  }
+  ExpectTopSimilarBitIdentical(restored);
+}
+
+TEST(TopSimilarDifferentialTest, ScaleKg100kBitIdentical) {
+  Result<DatasetSnapshot> built =
+      BuildScaleKgInMemory(ScaleSpecFor(100'000));
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const PredicateSpace& space = *built.ValueOrDie().space;
+  ASSERT_GT(space.NumPredicates(), 10u);
+  ExpectTopSimilarBitIdentical(space);
+}
+
+TEST(TopSimilarDifferentialTest, PrunedPathExactOnGeneratedBlock) {
+  // A denser stress of the select-then-rerank margin: 4096 unit vectors at
+  // dim 64 (many near-ties), every query's top-16 must match the exact
+  // reference.
+  VectorStore block = GenerateEmbeddingBlock(4096, 64, 99);
+  std::vector<std::string> names(block.size());
+  for (size_t i = 0; i < names.size(); ++i) names[i] = std::to_string(i);
+  PredicateSpace space = PredicateSpace::FromStore(std::move(block), names);
+  for (PredicateId p = 0; p < 64; ++p) {
+    auto got = space.TopSimilar(p, 16);
+    auto want = ReferenceTopSimilar(space, p, 16);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].predicate, want[i].predicate) << "p=" << p;
+      EXPECT_EQ(got[i].similarity, want[i].similarity) << "p=" << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -29,6 +29,15 @@ under gcc, where the Clang thread-safety attributes are no-ops):
                          src/util/ (its definition plus, at most, justified
                          uses in the lock wrappers themselves).
 
+  R5  simd-confinement   No vendor intrinsics (<immintrin.h>/<arm_neon.h>
+                         includes, _mm*/__m128/__m256/__m512, NEON v*q_f32
+                         calls or float32x4_t) outside
+                         src/embedding/simd_kernels.{h,cc}. Everything else
+                         calls the dispatched batch kernels, so the scalar
+                         fallback, the differential tests, and the
+                         KGSEARCH_DISABLE_SIMD build stay authoritative for
+                         every consumer.
+
 Scope: src/ (and bench/ + examples/ for R1/R2's void-cast rule — they ship
 binaries, so their RNG and error handling follow the same bar). tests/ are
 exempt from R3 (test doubles may build ad-hoc synchronization) but not from
@@ -90,6 +99,20 @@ MUTEX_ALLOWED = {Path("src/util/mutex.h")}
 # R4: analysis escape hatch ---------------------------------------------------
 ESCAPE_RE = re.compile(r"\bNO_THREAD_SAFETY_ANALYSIS\b")
 ESCAPE_ALLOWED_PREFIX = Path("src/util")
+
+# R5: intrinsics confined to the kernel library -------------------------------
+SIMD_PATTERNS = [
+    (re.compile(r"#\s*include\s*<(\w*intrin|arm_neon)\.h>"),
+     "vendor intrinsics header"),
+    (re.compile(r"\b_mm(256|512)?_\w+\s*\("), "_mm* intrinsic call"),
+    (re.compile(r"\b__m(128|256|512)[di]?\b"), "__m* vector type"),
+    (re.compile(r"\bfloat32x[24]_t\b"), "NEON vector type"),
+    (re.compile(r"\bv\w+_f32\s*\("), "NEON intrinsic call"),
+]
+SIMD_ALLOWED = {
+    Path("src/embedding/simd_kernels.h"),
+    Path("src/embedding/simd_kernels.cc"),
+}
 
 LINE_COMMENT_RE = re.compile(r"//.*$")
 
@@ -181,6 +204,15 @@ def check(root: Path) -> list[str]:
                                f"{what} outside util/mutex.h evades the "
                                "thread-safety analysis; use the annotated "
                                "Mutex/MutexLock/CondVar wrappers")
+            # R5 intrinsics confinement
+            if rel not in SIMD_ALLOWED:
+                for pattern, what in SIMD_PATTERNS:
+                    if pattern.search(line):
+                        report(path, lineno, "simd-confinement",
+                               f"{what} outside embedding/simd_kernels.* "
+                               "bypasses the dispatched kernels and their "
+                               "scalar-differential proof; add a kernel "
+                               "there instead")
             # R4 escape hatch scope
             if ESCAPE_RE.search(line):
                 try:

@@ -170,6 +170,42 @@ class CheckInvariantsTest(unittest.TestCase):
                    "  KGSEARCH_THREAD_ANNOTATION__(no_thread_safety_analysis)\n")
         self.assertEqual(self.violations(), [])
 
+    # ---- R5 simd-confinement -----------------------------------------------
+
+    def test_catches_intrinsics_outside_kernel_library(self):
+        self.write("src/match/fast_scan.cc",
+                   "#include <immintrin.h>\n"
+                   "float Sum(const float* p) {\n"
+                   "  __m256 v = _mm256_loadu_ps(p);\n"
+                   "  return _mm256_cvtss_f32(v);\n"
+                   "}\n")
+        self.assertGreaterEqual(self.rules().count("simd-confinement"), 3)
+
+    def test_catches_neon_intrinsics_and_bench_scope(self):
+        self.write("bench/bench_raw.cc",
+                   "#include <arm_neon.h>\n"
+                   "float32x4_t Z() { return vdupq_n_f32(0.0f); }\n")
+        self.assertGreaterEqual(self.rules().count("simd-confinement"), 3)
+
+    def test_allows_intrinsics_inside_kernel_library(self):
+        self.write("src/embedding/simd_kernels.cc",
+                   "#include <immintrin.h>\n"
+                   "float Dot1(const float* p) {\n"
+                   "  __m256 v = _mm256_loadu_ps(p);\n"
+                   "  return _mm256_cvtss_f32(v);\n"
+                   "}\n")
+        self.write("src/embedding/simd_kernels.h",
+                   "// Backends use _mm256_add_ps via <immintrin.h>.\n"
+                   "void DotBatch(const float* q, const float* b);\n")
+        self.assertEqual(self.violations(), [])
+
+    def test_ignores_intrinsic_names_in_comments(self):
+        self.write("src/embedding/predicate_space.cc",
+                   "// The kernels wrap _mm256_mul_ps( and __m256 — see\n"
+                   "/* #include <immintrin.h> lives in simd_kernels.cc */\n"
+                   "int x();\n")
+        self.assertEqual(self.violations(), [])
+
     # ---- reporting ---------------------------------------------------------
 
     def test_reports_path_line_and_rule(self):
