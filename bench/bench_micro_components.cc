@@ -108,7 +108,7 @@ void BM_SemanticWeightRows(benchmark::State& state) {
                                   matcher);
   KG_CHECK(resolved.ok());
   for (auto _ : state) {
-    SemanticWeights weights(ds.graph.get(), ds.space.get(),
+    SemanticWeights weights(*ds.graph, ds.space.get(),
                             &resolved.ValueOrDie());
     benchmark::DoNotOptimize(weights.Weight(0, 0));
   }

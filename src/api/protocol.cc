@@ -489,6 +489,141 @@ Result<QueryResponse> DecodeQueryResponseJson(std::string_view text) {
   return DecodeQueryResponse(json.ValueOrDie());
 }
 
+JsonValue EncodeIngestRequest(const IngestRequest& request) {
+  JsonValue json = JsonValue::Object();
+  json.Set("v", JsonValue::Int(request.version));
+  JsonValue body = JsonValue::Object();
+  body.Set("dataset", JsonValue::String(request.dataset));
+  JsonValue ops = JsonValue::Array();
+  for (const IngestOpDto& op : request.ops) {
+    JsonValue o = JsonValue::Object();
+    o.Set("op", JsonValue::String(op.retract ? "retract" : "add"));
+    o.Set("head", JsonValue::String(op.head));
+    o.Set("predicate", JsonValue::String(op.predicate));
+    o.Set("tail", JsonValue::String(op.tail));
+    if (!op.head_type.empty()) {
+      o.Set("head_type", JsonValue::String(op.head_type));
+    }
+    if (!op.tail_type.empty()) {
+      o.Set("tail_type", JsonValue::String(op.tail_type));
+    }
+    ops.Append(std::move(o));
+  }
+  body.Set("ops", std::move(ops));
+  json.Set("ingest", std::move(body));
+  return json;
+}
+
+Result<IngestRequest> DecodeIngestRequest(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  KG_RETURN_NOT_OK(CheckVersion(json));
+  const JsonValue* body = json.Find("ingest");
+  if (body == nullptr || !body->is_object()) {
+    return Status::InvalidArgument(
+        "ingest request needs an \"ingest\" object");
+  }
+  IngestRequest request;
+  Result<std::string> dataset = JsonGetString(*body, "dataset");
+  KG_RETURN_NOT_OK(dataset.status());
+  request.dataset = std::move(dataset).ValueOrDie();
+  const JsonValue* ops = body->Find("ops");
+  if (ops == nullptr || !ops->is_array()) {
+    return Status::InvalidArgument("ingest request needs an \"ops\" array");
+  }
+  for (const JsonValue& o : ops->items()) {
+    IngestOpDto op;
+    Result<std::string> kind = JsonGetStringOr(o, "op", "add");
+    KG_RETURN_NOT_OK(kind.status());
+    if (kind.ValueOrDie() == "retract") {
+      op.retract = true;
+    } else if (kind.ValueOrDie() != "add") {
+      return Status::InvalidArgument("unknown ingest op (want add/retract): " +
+                                     kind.ValueOrDie());
+    }
+    Result<std::string> head = JsonGetString(o, "head");
+    KG_RETURN_NOT_OK(head.status());
+    op.head = std::move(head).ValueOrDie();
+    Result<std::string> predicate = JsonGetString(o, "predicate");
+    KG_RETURN_NOT_OK(predicate.status());
+    op.predicate = std::move(predicate).ValueOrDie();
+    Result<std::string> tail = JsonGetString(o, "tail");
+    KG_RETURN_NOT_OK(tail.status());
+    op.tail = std::move(tail).ValueOrDie();
+    Result<std::string> head_type = JsonGetStringOr(o, "head_type", "");
+    KG_RETURN_NOT_OK(head_type.status());
+    op.head_type = std::move(head_type).ValueOrDie();
+    Result<std::string> tail_type = JsonGetStringOr(o, "tail_type", "");
+    KG_RETURN_NOT_OK(tail_type.status());
+    op.tail_type = std::move(tail_type).ValueOrDie();
+    if (op.head.empty() || op.predicate.empty() || op.tail.empty()) {
+      return Status::InvalidArgument(
+          "ingest op needs non-empty head, predicate, and tail");
+    }
+    request.ops.push_back(std::move(op));
+  }
+  return request;
+}
+
+std::string EncodeIngestRequestJson(const IngestRequest& request) {
+  return EncodeIngestRequest(request).Dump();
+}
+
+Result<IngestRequest> DecodeIngestRequestJson(std::string_view text) {
+  if (text.size() > kMaxWireRequestBytes) {
+    return Status::InvalidArgument(
+        StrFormat("request document of %zu bytes exceeds the %zu-byte wire "
+                  "limit",
+                  text.size(), kMaxWireRequestBytes));
+  }
+  Result<JsonValue> json = JsonValue::Parse(text);
+  KG_RETURN_NOT_OK(json.status());
+  return DecodeIngestRequest(json.ValueOrDie());
+}
+
+JsonValue EncodeIngestResponse(const IngestResponse& response) {
+  JsonValue json = JsonValue::Object();
+  json.Set("v", JsonValue::Int(response.version));
+  JsonValue body = JsonValue::Object();
+  body.Set("dataset", JsonValue::String(response.dataset));
+  body.Set("epoch", JsonValue::Uint(response.epoch));
+  body.Set("ops_applied", JsonValue::Uint(response.ops_applied));
+  json.Set("ingest", std::move(body));
+  return json;
+}
+
+Result<IngestResponse> DecodeIngestResponse(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("response must be a JSON object");
+  }
+  KG_RETURN_NOT_OK(CheckVersion(json));
+  const JsonValue* body = json.Find("ingest");
+  if (body == nullptr || !body->is_object()) {
+    return Status::InvalidArgument(
+        "ingest response needs an \"ingest\" object");
+  }
+  IngestResponse response;
+  Result<std::string> dataset = JsonGetString(*body, "dataset");
+  KG_RETURN_NOT_OK(dataset.status());
+  response.dataset = std::move(dataset).ValueOrDie();
+  KG_RETURN_NOT_OK(
+      GetUnsigned(*body, "epoch", response.epoch, &response.epoch));
+  KG_RETURN_NOT_OK(GetUnsigned(*body, "ops_applied", response.ops_applied,
+                               &response.ops_applied));
+  return response;
+}
+
+std::string EncodeIngestResponseJson(const IngestResponse& response) {
+  return EncodeIngestResponse(response).Dump();
+}
+
+Result<IngestResponse> DecodeIngestResponseJson(std::string_view text) {
+  Result<JsonValue> json = JsonValue::Parse(text);
+  KG_RETURN_NOT_OK(json.status());
+  return DecodeIngestResponse(json.ValueOrDie());
+}
+
 std::string EncodeErrorJson(const Status& status) {
   JsonValue json = JsonValue::Object();
   json.Set("v", JsonValue::Int(kApiProtocolVersion));

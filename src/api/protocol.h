@@ -156,6 +156,47 @@ struct QueryResponse {
   bool operator==(const QueryResponse&) const = default;
 };
 
+// ----- live ingest (delta overlay) -----
+
+/// One mutation in an ingest batch. `retract` removes an existing triple;
+/// an add may create nodes, in which case `head_type`/`tail_type` name the
+/// new node's type (empty = "Thing"; an existing node keeps its type).
+struct IngestOpDto {
+  bool retract = false;
+  std::string head;
+  std::string predicate;
+  std::string tail;
+  std::string head_type;
+  std::string tail_type;
+
+  bool operator==(const IngestOpDto&) const = default;
+};
+
+/// An atomically applied mutation batch against a named dataset's delta
+/// overlay (kg/delta_overlay.h). Wire form:
+///   {"v":1,"ingest":{"dataset":"d","ops":[{"op":"add","head":"a",
+///    "predicate":"p","tail":"b","head_type":"T"}, ...]}}
+/// The top-level "ingest" member is what routes the line away from the
+/// query path (server/tcp_server.h).
+struct IngestRequest {
+  int64_t version = kApiProtocolVersion;
+  std::string dataset;
+  std::vector<IngestOpDto> ops;
+
+  bool operator==(const IngestRequest&) const = default;
+};
+
+/// Acknowledgement of one committed batch. `epoch` is the snapshot epoch
+/// the batch published; queries pinned at or after it see every op.
+struct IngestResponse {
+  int64_t version = kApiProtocolVersion;
+  std::string dataset;
+  uint64_t epoch = 0;
+  uint64_t ops_applied = 0;
+
+  bool operator==(const IngestResponse&) const = default;
+};
+
 // ----- JSON codecs -----
 
 JsonValue EncodeQueryGraph(const QueryGraph& query);
@@ -170,6 +211,16 @@ JsonValue EncodeQueryResponse(const QueryResponse& response);
 Result<QueryResponse> DecodeQueryResponse(const JsonValue& json);
 std::string EncodeQueryResponseJson(const QueryResponse& response);
 Result<QueryResponse> DecodeQueryResponseJson(std::string_view text);
+
+JsonValue EncodeIngestRequest(const IngestRequest& request);
+Result<IngestRequest> DecodeIngestRequest(const JsonValue& json);
+std::string EncodeIngestRequestJson(const IngestRequest& request);
+Result<IngestRequest> DecodeIngestRequestJson(std::string_view text);
+
+JsonValue EncodeIngestResponse(const IngestResponse& response);
+Result<IngestResponse> DecodeIngestResponse(const JsonValue& json);
+std::string EncodeIngestResponseJson(const IngestResponse& response);
+Result<IngestResponse> DecodeIngestResponseJson(std::string_view text);
 
 /// Encodes a failure as the wire error document
 /// {"v":1,"error":{"code":"InvalidArgument","message":"..."}}.

@@ -8,8 +8,29 @@
 
 namespace kgsearch {
 
+namespace {
+
+Result<QueryGraph> ParseQueryTextImpl(std::string_view text,
+                                      const GraphView* graph);
+
+}  // namespace
+
 Result<QueryGraph> ParseQueryText(std::string_view text,
                                   const KnowledgeGraph* graph) {
+  if (graph == nullptr) return ParseQueryTextImpl(text, nullptr);
+  const GraphView view(*graph);
+  return ParseQueryTextImpl(text, &view);
+}
+
+Result<QueryGraph> ParseQueryText(std::string_view text,
+                                  const GraphView& graph) {
+  return ParseQueryTextImpl(text, &graph);
+}
+
+namespace {
+
+Result<QueryGraph> ParseQueryTextImpl(std::string_view text,
+                                      const GraphView* graph) {
   if (Trim(text).empty()) {
     return Status::InvalidArgument("query text is empty");
   }
@@ -74,5 +95,7 @@ Result<QueryGraph> ParseQueryText(std::string_view text,
   KG_RETURN_NOT_OK(query.Validate());
   return query;
 }
+
+}  // namespace
 
 }  // namespace kgsearch

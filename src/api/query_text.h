@@ -22,6 +22,7 @@
 
 #include "core/query_graph.h"
 #include "kg/graph.h"
+#include "kg/graph_view.h"
 
 namespace kgsearch {
 
@@ -32,6 +33,12 @@ namespace kgsearch {
 /// "Thing". The result always passes QueryGraph::Validate().
 Result<QueryGraph> ParseQueryText(std::string_view text,
                                   const KnowledgeGraph* graph = nullptr);
+
+/// Same grammar, resolving names against a pinned snapshot view instead of
+/// a bare graph, so type inference sees live-ingested nodes too (the
+/// serving layer's path; see kg/graph_view.h).
+Result<QueryGraph> ParseQueryText(std::string_view text,
+                                  const GraphView& graph);
 
 }  // namespace kgsearch
 

@@ -1,5 +1,7 @@
 #include "api/session.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "api/query_text.h"
@@ -12,7 +14,7 @@ namespace kgsearch {
 
 namespace {
 
-void FillAnswers(const KnowledgeGraph& graph,
+void FillAnswers(const GraphView& graph,
                  const std::vector<FinalMatch>& matches,
                  QueryResponse* response) {
   response->answers.reserve(matches.size());
@@ -51,13 +53,21 @@ KgSession::~KgSession() {
   outstanding_.Wait();
 }
 
-Status KgSession::RegisterDataset(const std::string& name,
-                                  std::unique_ptr<KnowledgeGraph> graph,
-                                  std::unique_ptr<PredicateSpace> space,
-                                  TransformationLibrary library) {
-  if (name.empty()) {
-    return Status::InvalidArgument("dataset name must not be empty");
-  }
+QueryServiceOptions KgSession::ServiceOptions() const {
+  QueryServiceOptions service_options;
+  service_options.executor = pool_.get();
+  service_options.decomposition_cache_capacity =
+      options_.decomposition_cache_capacity;
+  service_options.matcher_cache_capacity = options_.matcher_cache_capacity;
+  service_options.max_in_flight = options_.max_in_flight;
+  service_options.max_queued = options_.max_queued;
+  return service_options;
+}
+
+Result<std::unique_ptr<KgSession::Dataset>> KgSession::BuildDataset(
+    std::unique_ptr<KnowledgeGraph> graph,
+    std::shared_ptr<PredicateSpace> space,
+    std::shared_ptr<TransformationLibrary> library) {
   if (graph == nullptr || space == nullptr) {
     return Status::InvalidArgument("dataset needs a graph and a space");
   }
@@ -69,34 +79,85 @@ Status KgSession::RegisterDataset(const std::string& name,
         "predicate space covers %zu of the graph's %zu predicates",
         space->NumPredicates(), graph->NumPredicates()));
   }
-
   auto dataset = std::make_unique<Dataset>();
   dataset->graph = std::move(graph);
   dataset->space = std::move(space);
   dataset->library = std::move(library);
-  QueryServiceOptions service_options;
-  service_options.executor = pool_.get();
-  service_options.decomposition_cache_capacity =
-      options_.decomposition_cache_capacity;
-  service_options.matcher_cache_capacity = options_.matcher_cache_capacity;
-  service_options.max_in_flight = options_.max_in_flight;
-  service_options.max_queued = options_.max_queued;
+  dataset->overlay = std::make_unique<DeltaOverlay>(dataset->graph.get());
   dataset->service = std::make_unique<QueryService>(
-      dataset->graph.get(), dataset->space.get(), &dataset->library,
-      service_options, clock_);
+      dataset->graph.get(), dataset->space.get(), dataset->library.get(),
+      ServiceOptions(), clock_);
+  return dataset;
+}
 
-  MutexLock lock(&mutex_);
-  auto [it, inserted] = datasets_.emplace(name, std::move(dataset));
-  (void)it;
-  if (!inserted) {
-    return Status::AlreadyExists("dataset already registered: " + name);
+Status KgSession::InstallDataset(const std::string& name,
+                                 std::unique_ptr<Dataset> dataset,
+                                 bool replace, const Dataset* expected) {
+  std::unique_ptr<Dataset> old;
+  {
+    MutexLock lock(&mutex_);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      if (expected != nullptr) {
+        return Status::FailedPrecondition(
+            "dataset replaced during compaction: " + name);
+      }
+      datasets_.emplace(name, std::move(dataset));
+      return Status::OK();
+    }
+    if (!replace) {
+      return Status::AlreadyExists("dataset already registered: " + name);
+    }
+    if (expected != nullptr && it->second.get() != expected) {
+      return Status::FailedPrecondition(
+          "dataset replaced during compaction: " + name);
+    }
+    old = std::move(it->second);
+    it->second = std::move(dataset);
   }
+  // Swap done: new arrivals resolve the fresh dataset. Retire the old
+  // overlay first so a writer mid-Ingest fails fast (and retries against
+  // the new entry) instead of committing into a graph nobody can reach,
+  // then drain the leases. Queries never fail from the swap — lease
+  // holders finish on the old graph before it is destroyed here.
+  old->overlay->Retire();
+  old->in_use.Wait();
   return Status::OK();
+}
+
+Status KgSession::RegisterDataset(const std::string& name,
+                                  std::unique_ptr<KnowledgeGraph> graph,
+                                  std::unique_ptr<PredicateSpace> space,
+                                  TransformationLibrary library) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  Result<std::unique_ptr<Dataset>> dataset = BuildDataset(
+      std::move(graph), std::move(space),
+      std::make_shared<TransformationLibrary>(std::move(library)));
+  KG_RETURN_NOT_OK(dataset.status());
+  return InstallDataset(name, std::move(dataset).ValueOrDie(),
+                        /*replace=*/false);
+}
+
+Status KgSession::ReplaceDataset(const std::string& name,
+                                 std::unique_ptr<KnowledgeGraph> graph,
+                                 std::unique_ptr<PredicateSpace> space,
+                                 TransformationLibrary library) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  Result<std::unique_ptr<Dataset>> dataset = BuildDataset(
+      std::move(graph), std::move(space),
+      std::make_shared<TransformationLibrary>(std::move(library)));
+  KG_RETURN_NOT_OK(dataset.status());
+  return InstallDataset(name, std::move(dataset).ValueOrDie(),
+                        /*replace=*/true);
 }
 
 Status KgSession::LoadDataset(const std::string& name,
                               const DatasetLoadOptions& options) {
-  if (HasDataset(name)) {
+  if (!options.replace_existing && HasDataset(name)) {
     // Checked again under the registry lock, but failing before parsing and
     // training keeps the common mistake cheap.
     return Status::AlreadyExists("dataset already registered: " + name);
@@ -121,8 +182,13 @@ Status KgSession::LoadDataset(const std::string& name,
     Result<DatasetSnapshot> snapshot = DecodeSnapshot(text.ValueOrDie());
     KG_RETURN_NOT_OK(snapshot.status());
     DatasetSnapshot& parts = snapshot.ValueOrDie();
-    return RegisterDataset(name, std::move(parts.graph),
-                           std::move(parts.space), std::move(parts.library));
+    return options.replace_existing
+               ? ReplaceDataset(name, std::move(parts.graph),
+                                std::move(parts.space),
+                                std::move(parts.library))
+               : RegisterDataset(name, std::move(parts.graph),
+                                 std::move(parts.space),
+                                 std::move(parts.library));
   }
 
   Result<std::unique_ptr<KnowledgeGraph>> graph =
@@ -157,35 +223,47 @@ Status KgSession::LoadDataset(const std::string& name,
     library = std::move(parsed).ValueOrDie();
   }
 
-  return RegisterDataset(name, std::move(graph).ValueOrDie(),
-                         std::move(space), std::move(library));
+  return options.replace_existing
+             ? ReplaceDataset(name, std::move(graph).ValueOrDie(),
+                              std::move(space), std::move(library))
+             : RegisterDataset(name, std::move(graph).ValueOrDie(),
+                               std::move(space), std::move(library));
 }
 
 Status KgSession::SaveDataset(const std::string& name,
                               const std::string& path) const {
-  Dataset* dataset = FindDataset(name);
-  if (dataset == nullptr) {
+  DatasetLease lease = AcquireDataset(name);
+  if (!lease) {
     return Status::NotFound("unknown dataset: \"" + name + "\"");
   }
-  // Graph, space, and library are immutable after registration, so reading
-  // them without the registry lock is safe.
+  Dataset* dataset = lease.get();
+  // Snapshot the live view: when anything was ingested, fold base+delta
+  // into a fresh graph so the file round-trips the merged state (a later
+  // LoadDataset restores exactly what queries were answering).
+  std::shared_ptr<const DeltaSnapshot> pinned = dataset->overlay->Snapshot();
+  if (pinned != nullptr) {
+    Result<std::unique_ptr<KnowledgeGraph>> folded =
+        FoldDelta(*dataset->graph, pinned.get());
+    KG_RETURN_NOT_OK(folded.status());
+    return SaveSnapshot(path, *folded.ValueOrDie(), *dataset->space,
+                        *dataset->library);
+  }
   return SaveSnapshot(path, *dataset->graph, *dataset->space,
-                      dataset->library);
+                      *dataset->library);
 }
 
-KgSession::Dataset* KgSession::FindDataset(const std::string& name) const {
-  MutexLock lock(&mutex_);
-  return FindDatasetLocked(name);
-}
-
-KgSession::Dataset* KgSession::FindDatasetLocked(
+KgSession::DatasetLease KgSession::AcquireDataset(
     const std::string& name) const {
+  MutexLock lock(&mutex_);
   auto it = datasets_.find(name);
-  return it == datasets_.end() ? nullptr : it->second.get();
+  if (it == datasets_.end()) return DatasetLease();
+  it->second->in_use.Add(1);
+  return DatasetLease(it->second.get());
 }
 
 bool KgSession::HasDataset(const std::string& name) const {
-  return FindDataset(name) != nullptr;
+  MutexLock lock(&mutex_);
+  return datasets_.find(name) != datasets_.end();
 }
 
 std::vector<DatasetInfo> KgSession::ListDatasets() const {
@@ -193,11 +271,15 @@ std::vector<DatasetInfo> KgSession::ListDatasets() const {
   std::vector<DatasetInfo> out;
   out.reserve(datasets_.size());
   for (const auto& [name, dataset] : datasets_) {
+    std::shared_ptr<const DeltaSnapshot> pinned =
+        dataset->overlay->Snapshot();
+    const GraphView view(dataset->graph.get(), pinned.get());
     DatasetInfo info;
     info.name = name;
-    info.nodes = dataset->graph->NumNodes();
-    info.edges = dataset->graph->NumEdges();
-    info.predicates = dataset->graph->NumPredicates();
+    info.nodes = view.NumNodes();
+    info.edges = view.NumEdges();
+    info.predicates = view.NumPredicates();
+    info.epoch = view.epoch();
     out.push_back(std::move(info));
   }
   return out;
@@ -218,10 +300,20 @@ Result<QueryResponse> KgSession::Execute(const QueryRequest& request,
                                          Dataset* dataset,
                                          bool pre_admitted) {
   KG_RETURN_NOT_OK(CheckProtocolVersion(request.version));
-  if (dataset == nullptr) dataset = FindDataset(request.dataset);
+  DatasetLease lease;
+  if (dataset == nullptr) {
+    lease = AcquireDataset(request.dataset);
+    dataset = lease.get();
+  }
   if (dataset == nullptr) {
     return Status::NotFound("unknown dataset: \"" + request.dataset + "\"");
   }
+  // THE snapshot pin: everything below — parsing, decomposition, search,
+  // answer fill — reads this one GraphView, so the request sees exactly the
+  // epoch current at resolution time regardless of concurrent commits.
+  const std::shared_ptr<const DeltaSnapshot> pinned =
+      dataset->overlay->Snapshot();
+  const GraphView view(dataset->graph.get(), pinned.get());
   // Deliberately no deadline/cancel short-circuit here: the service's own
   // entry check handles a request that spent its whole budget queued (or
   // was revoked while waiting), so the per-dataset overload counters see
@@ -244,8 +336,7 @@ Result<QueryResponse> KgSession::Execute(const QueryRequest& request,
         "request needs query_text or query_graph");
   } else {
     StopWatch parse_watch(clock_);
-    Result<QueryGraph> parsed =
-        ParseQueryText(request.query_text, dataset->graph.get());
+    Result<QueryGraph> parsed = ParseQueryText(request.query_text, view);
     KG_RETURN_NOT_OK(parsed.status());
     parsed_storage = std::move(parsed).ValueOrDie();
     query = &parsed_storage;
@@ -260,6 +351,7 @@ Result<QueryResponse> KgSession::Execute(const QueryRequest& request,
     EngineOptions engine_options = ToEngineOptions(request.options);
     engine_options.deadline_micros = deadline_micros;
     engine_options.cancel = cancel;
+    engine_options.view = &view;
     Result<QueryResult> result =
         pre_admitted
             ? dataset->service->QueryAdmitted(*query, engine_options)
@@ -267,13 +359,14 @@ Result<QueryResponse> KgSession::Execute(const QueryRequest& request,
                                       EffectivePriority(request));
     KG_RETURN_NOT_OK(result.status());
     const QueryResult& r = result.ValueOrDie();
-    FillAnswers(*dataset->graph, r.matches, &response);
+    FillAnswers(view, r.matches, &response);
     FillStats(r.subquery_stats, r.ta_stats, &response.stats);
     response.timings.engine_ms = r.elapsed_ms;
   } else {
     TimeBoundedOptions tbq_options = ToTimeBoundedOptions(request.options);
     tbq_options.deadline_micros = deadline_micros;
     tbq_options.cancel = cancel;
+    tbq_options.view = &view;
     Result<TimeBoundedResult> result =
         pre_admitted ? dataset->service->QueryTimeBoundedAdmitted(
                            *query, tbq_options)
@@ -281,7 +374,7 @@ Result<QueryResponse> KgSession::Execute(const QueryRequest& request,
                            *query, tbq_options, EffectivePriority(request));
     KG_RETURN_NOT_OK(result.status());
     const TimeBoundedResult& r = result.ValueOrDie();
-    FillAnswers(*dataset->graph, r.matches, &response);
+    FillAnswers(view, r.matches, &response);
     FillStats(r.subquery_stats, r.ta_stats, &response.stats);
     response.stopped_by_time = r.stopped_by_time;
     response.timings.engine_ms = r.elapsed_ms;
@@ -308,10 +401,13 @@ std::future<Result<QueryResponse>> KgSession::Submit(
   // wait and released by the task (or the shutdown path). An unknown
   // dataset skips the gate — Execute resolves it to kNotFound, and if the
   // name is registered between submission and execution the service's
-  // synchronous gate still applies. Dataset pointers are stable for the
-  // session's lifetime, so the lookup is done once and carried into the
-  // task.
-  Dataset* dataset = FindDataset(request.dataset);
+  // synchronous gate still applies. The drain lease taken here rides into
+  // the task (shared_ptr: SubmitTracked's std::function needs a copyable
+  // closure) so the resolved Dataset — and the gate inside it — survives
+  // any replacement until the task finishes.
+  auto lease =
+      std::make_shared<DatasetLease>(AcquireDataset(request.dataset));
+  Dataset* dataset = lease->get();
   AdmissionController* gate = nullptr;
   if (dataset != nullptr) {
     gate = dataset->service->mutable_admission();
@@ -324,15 +420,16 @@ std::future<Result<QueryResponse>> KgSession::Submit(
   }
   return SubmitTracked<Result<QueryResponse>>(
       pool_.get(), &outstanding_, &queued_,
-      [this, request = std::move(request), deadline_micros, cancel, dataset,
-       gate]() {
+      [this, request = std::move(request), deadline_micros, cancel, lease,
+       dataset, gate]() {
         AdmissionSlot slot(gate);  // released even if execution throws
         return Execute(request, deadline_micros, cancel, dataset,
                        /*pre_admitted=*/gate != nullptr);
       },
       Result<QueryResponse>(Status::Internal("session is shutting down")),
-      /*on_reject=*/[gate] {
+      /*on_reject=*/[lease, gate] {
         if (gate != nullptr) gate->Release();
+        lease->Release();
       });
 }
 
@@ -359,43 +456,168 @@ std::string KgSession::QueryJson(std::string_view request_json) {
   return EncodeQueryResponseJson(response.ValueOrDie());
 }
 
+Result<IngestResponse> KgSession::Ingest(const IngestRequest& request) {
+  KG_RETURN_NOT_OK(CheckProtocolVersion(request.version));
+  if (request.ops.empty()) {
+    return Status::InvalidArgument("ingest request has no ops");
+  }
+  MutationBatch batch;
+  batch.ops.reserve(request.ops.size());
+  for (const IngestOpDto& op : request.ops) {
+    batch.ops.push_back(
+        op.retract ? Mutation::Retract(op.head, op.predicate, op.tail)
+                   : Mutation::Add(op.head, op.predicate, op.tail,
+                                   op.head_type, op.tail_type));
+  }
+
+  // Retry loop: a commit that loses to a concurrent compaction/replacement
+  // (retired overlay → kFailedPrecondition) is transparently re-applied
+  // against the freshly installed registry entry. Bounded two ways — a
+  // wall-clock give-up and an iteration cap (a frozen test clock must not
+  // spin forever).
+  const int64_t give_up_micros = clock_->NowMicros() + 2'000'000;
+  const Dataset* last_retired = nullptr;
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    DatasetLease lease = AcquireDataset(request.dataset);
+    Dataset* dataset = lease.get();
+    if (dataset == nullptr) {
+      return Status::NotFound("unknown dataset: \"" + request.dataset +
+                              "\"");
+    }
+    // Adds must use predicates the BASE graph already interned: the
+    // predicate space has embedding rows only for base predicate ids, so a
+    // new predicate would search with undefined semantics. (The overlay
+    // itself allows them — this policy belongs to the serving layer.)
+    for (const IngestOpDto& op : request.ops) {
+      if (!op.retract &&
+          dataset->graph->FindPredicate(op.predicate) == kInvalidSymbol) {
+        return Status::InvalidArgument(
+            "unknown predicate \"" + op.predicate +
+            "\": the dataset's predicate space has no embedding for it");
+      }
+    }
+    Result<uint64_t> epoch = dataset->overlay->Commit(batch);
+    if (epoch.ok()) {
+      IngestResponse response;
+      response.dataset = request.dataset;
+      response.epoch = epoch.ValueOrDie();
+      response.ops_applied = request.ops.size();
+      return response;
+    }
+    if (epoch.status().code() != StatusCode::kFailedPrecondition) {
+      return epoch.status();
+    }
+    if (clock_->NowMicros() >= give_up_micros) break;
+    if (dataset == last_retired) {
+      // The retired entry is still installed (the replacer is mid-drain);
+      // yield briefly instead of hammering the registry lock.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    last_retired = dataset;
+  }
+  return Status::FailedPrecondition(
+      "ingest into \"" + request.dataset +
+      "\" kept racing dataset replacement; giving up");
+}
+
+Status KgSession::CompactDataset(const std::string& name) {
+  DatasetLease lease = AcquireDataset(name);
+  if (!lease) {
+    return Status::NotFound("unknown dataset: \"" + name + "\"");
+  }
+  Dataset* dataset = lease.get();
+  // Retire first: from here on no new epoch can be published, so the final
+  // snapshot is THE delta to fold and no committed batch can be lost. The
+  // fold itself runs without any lock held.
+  std::shared_ptr<const DeltaSnapshot> final_delta =
+      dataset->overlay->Retire();
+  if (final_delta == nullptr) {
+    dataset->overlay->Reopen();  // epoch 0: nothing to fold
+    return Status::OK();
+  }
+  Result<std::unique_ptr<KnowledgeGraph>> folded =
+      FoldDelta(*dataset->graph, final_delta.get());
+  if (!folded.ok()) {
+    dataset->overlay->Reopen();  // keep serving the old state
+    return folded.status();
+  }
+  // FoldDelta preserves predicate ids, so the outgoing generation's space
+  // and library keep their meaning — the new generation SHARES them.
+  auto fresh = std::make_unique<Dataset>();
+  fresh->graph = std::move(folded).ValueOrDie();
+  fresh->space = dataset->space;
+  fresh->library = dataset->library;
+  fresh->overlay = std::make_unique<DeltaOverlay>(fresh->graph.get());
+  fresh->service = std::make_unique<QueryService>(
+      fresh->graph.get(), fresh->space.get(), fresh->library.get(),
+      ServiceOptions(), clock_);
+  // Release our own lease BEFORE the install drains — holding it across
+  // in_use.Wait() would deadlock on ourselves. `expected` pins the swap to
+  // the entry we folded: if a racing ReplaceDataset got there first our
+  // fold is stale and is simply discarded (kFailedPrecondition).
+  const Dataset* expected = dataset;
+  lease.Release();
+  // kFailedPrecondition = lost the race to a concurrent replacement; the
+  // winner's dataset is serving and our fold is simply discarded.
+  return InstallDataset(name, std::move(fresh), /*replace=*/true, expected);
+}
+
+Result<uint64_t> KgSession::DatasetEpoch(const std::string& name) const {
+  DatasetLease lease = AcquireDataset(name);
+  if (!lease) {
+    return Status::NotFound("unknown dataset: \"" + name + "\"");
+  }
+  return lease.get()->overlay->epoch();
+}
+
+std::string KgSession::IngestJson(std::string_view request_json) {
+  Result<IngestRequest> request = DecodeIngestRequestJson(request_json);
+  if (!request.ok()) return EncodeErrorJson(request.status());
+  Result<IngestResponse> response = Ingest(request.ValueOrDie());
+  if (!response.ok()) return EncodeErrorJson(response.status());
+  return EncodeIngestResponseJson(response.ValueOrDie());
+}
+
 Result<QueryGraph> KgSession::ParseQuery(const std::string& dataset,
                                          std::string_view text) const {
-  Dataset* found = FindDataset(dataset);
-  if (found == nullptr) {
+  DatasetLease lease = AcquireDataset(dataset);
+  if (!lease) {
     return Status::NotFound("unknown dataset: \"" + dataset + "\"");
   }
-  return ParseQueryText(text, found->graph.get());
+  Dataset* found = lease.get();
+  const std::shared_ptr<const DeltaSnapshot> pinned =
+      found->overlay->Snapshot();
+  return ParseQueryText(text, GraphView(found->graph.get(), pinned.get()));
 }
 
 Result<ServiceStatsSnapshot> KgSession::Stats(
     const std::string& dataset) const {
-  Dataset* found = FindDataset(dataset);
-  if (found == nullptr) {
+  DatasetLease lease = AcquireDataset(dataset);
+  if (!lease) {
     return Status::NotFound("unknown dataset: \"" + dataset + "\"");
   }
-  return found->service->Stats();
+  return lease.get()->service->Stats();
 }
 
 QueryService* KgSession::service(const std::string& dataset) const {
-  Dataset* found = FindDataset(dataset);
-  return found == nullptr ? nullptr : found->service.get();
+  DatasetLease lease = AcquireDataset(dataset);
+  return lease ? lease.get()->service.get() : nullptr;
 }
 
 const KnowledgeGraph* KgSession::graph(const std::string& dataset) const {
-  Dataset* found = FindDataset(dataset);
-  return found == nullptr ? nullptr : found->graph.get();
+  DatasetLease lease = AcquireDataset(dataset);
+  return lease ? lease.get()->graph.get() : nullptr;
 }
 
 const PredicateSpace* KgSession::space(const std::string& dataset) const {
-  Dataset* found = FindDataset(dataset);
-  return found == nullptr ? nullptr : found->space.get();
+  DatasetLease lease = AcquireDataset(dataset);
+  return lease ? lease.get()->space.get() : nullptr;
 }
 
 const TransformationLibrary* KgSession::library(
     const std::string& dataset) const {
-  Dataset* found = FindDataset(dataset);
-  return found == nullptr ? nullptr : &found->library;
+  DatasetLease lease = AcquireDataset(dataset);
+  return lease ? lease.get()->library.get() : nullptr;
 }
 
 }  // namespace kgsearch

@@ -18,9 +18,24 @@
 // query graph — returns a Status; the facade never KG_CHECK-aborts on user
 // input.
 //
-// Thread-safety: all public methods may be called concurrently. Dataset
-// registration is append-only (no removal), so dataset pointers stay valid
-// for the session's lifetime.
+// Dynamic graphs (ROADMAP item 3): every dataset carries a DeltaOverlay
+// (kg/delta_overlay.h). Ingest() commits mutation batches against it;
+// each query pins the overlay's published snapshot at dataset-resolution
+// time and runs entirely against that one GraphView, so no query ever sees
+// half a batch. CompactDataset() folds base+delta into a fresh graph and
+// swaps it in blue-green: the new dataset (sharing the predicate space and
+// transformation library of the old) replaces the registry entry
+// atomically, in-flight queries finish on the old graph under a drain
+// lease, and the old dataset is destroyed only after the drain.
+//
+// Thread-safety: all public methods may be called concurrently. A registry
+// entry can be REPLACED (ReplaceDataset, CompactDataset, LoadDataset with
+// replace_existing), so internal access goes through drain leases: a
+// lease, taken under the registry lock, keeps the resolved Dataset alive
+// until released; replacement waits for every lease before destroying the
+// old dataset. The borrowed pointers returned by service()/graph()/...
+// are valid until the named dataset is replaced or compacted (forever, if
+// the caller never does either — the pre-replacement contract).
 #ifndef KGSEARCH_API_SESSION_H_
 #define KGSEARCH_API_SESSION_H_
 
@@ -34,6 +49,7 @@
 
 #include "api/protocol.h"
 #include "embedding/transe.h"
+#include "kg/delta_overlay.h"
 #include "match/transformation_library.h"
 #include "service/query_service.h"
 #include "util/mutex.h"
@@ -80,14 +96,21 @@ struct DatasetLoadOptions {
   bool train_transe = false;
   /// TransE hyper-parameters used when training.
   TransEConfig transe_config = {.dim = 48, .epochs = 60};
+  /// Atomically replace an existing dataset of the same name (blue-green,
+  /// with drain) instead of failing kAlreadyExists.
+  bool replace_existing = false;
 };
 
-/// Registry listing entry.
+/// Registry listing entry. Counts reflect the live view (base graph plus
+/// the current delta epoch), not just the base.
 struct DatasetInfo {
   std::string name;
   size_t nodes = 0;
   size_t edges = 0;
   size_t predicates = 0;
+  /// Current delta epoch (0 = pristine base, nothing ingested since the
+  /// last registration/compaction).
+  uint64_t epoch = 0;
 };
 
 /// The facade: dataset registry + request execution over one shared pool.
@@ -110,6 +133,19 @@ class KgSession {
                          std::unique_ptr<PredicateSpace> space,
                          TransformationLibrary library);
 
+  /// Registers like RegisterDataset, but an existing dataset of the same
+  /// name is atomically replaced (blue-green): queries resolving the name
+  /// after the swap run on the new dataset, in-flight queries finish on the
+  /// old one, the old delta overlay is retired (pending Ingests fail fast
+  /// and retry onto the new dataset), and the old dataset is destroyed
+  /// after its last lease drains. This is the fix for the registration
+  /// name-collision bug: previously the only choices were kAlreadyExists
+  /// or an unsynchronized unload.
+  Status ReplaceDataset(const std::string& name,
+                        std::unique_ptr<KnowledgeGraph> graph,
+                        std::unique_ptr<PredicateSpace> space,
+                        TransformationLibrary library);
+
   /// Loads a dataset from disk per `options` and registers it. Snapshot
   /// files take the kgpack fast path: no parsing, no training.
   Status LoadDataset(const std::string& name,
@@ -122,6 +158,30 @@ class KgSession {
 
   bool HasDataset(const std::string& name) const;
   std::vector<DatasetInfo> ListDatasets() const;
+
+  // ----- live ingest (delta overlay) -----
+
+  /// Commits one mutation batch against the named dataset's delta overlay,
+  /// all-or-nothing; the response carries the epoch the batch published.
+  /// Queries accepted after the commit returns see every op; queries
+  /// already pinned keep their snapshot. Predicates of added triples must
+  /// already exist in the dataset (its predicate space has no embedding
+  /// rows for new ones): kInvalidArgument otherwise. A batch that races a
+  /// concurrent compaction/replacement is retried transparently against
+  /// the new registry entry.
+  Result<IngestResponse> Ingest(const IngestRequest& request);
+
+  /// Folds the dataset's delta into a fresh finalized base graph
+  /// (kg/delta_overlay.h FoldDelta — bit-identical to a from-scratch
+  /// build) and swaps it in blue-green, sharing the predicate space and
+  /// transformation library with the outgoing generation. The new overlay
+  /// starts empty at epoch 0. No-op when nothing was ingested. Queries are
+  /// never failed by the swap: in-flight ones finish on the old graph.
+  Status CompactDataset(const std::string& name);
+
+  /// The dataset's current delta epoch (0 = pristine base); kNotFound for
+  /// unknown names.
+  Result<uint64_t> DatasetEpoch(const std::string& name) const;
 
   // ----- query execution -----
 
@@ -160,6 +220,11 @@ class KgSession {
   /// failure. Never throws or aborts on malformed input.
   std::string QueryJson(std::string_view request_json);
 
+  /// The JSON wire entry point for ingest: decodes an
+  /// {"v":1,"ingest":{...}} document, commits it, and encodes the
+  /// response — or an {"error": ...} document. Never throws or aborts.
+  std::string IngestJson(std::string_view request_json);
+
   /// Parses query text against `dataset`'s graph (type inference for
   /// specific nodes) without executing it.
   Result<QueryGraph> ParseQuery(const std::string& dataset,
@@ -179,8 +244,9 @@ class KgSession {
     return queued_.load(std::memory_order_relaxed);
   }
 
-  /// Borrowed pointers, valid for the session's lifetime; nullptr when the
-  /// dataset is unknown.
+  /// Borrowed pointers, valid until the named dataset is replaced or
+  /// compacted (so: for the session's lifetime, if the caller never does
+  /// either); nullptr when the dataset is unknown.
   QueryService* service(const std::string& dataset) const;
   const KnowledgeGraph* graph(const std::string& dataset) const;
   const PredicateSpace* space(const std::string& dataset) const;
@@ -191,18 +257,88 @@ class KgSession {
  private:
   struct Dataset {
     std::unique_ptr<KnowledgeGraph> graph;
-    std::unique_ptr<PredicateSpace> space;
-    TransformationLibrary library;
+    /// Shared (not owned 1:1): a compaction generation reuses the previous
+    /// generation's space and library — FoldDelta preserves predicate ids,
+    /// so the embedding rows keep their meaning.
+    std::shared_ptr<PredicateSpace> space;
+    std::shared_ptr<TransformationLibrary> library;
+    /// Writer-side mutation entry point; always present (epoch 0 = no
+    /// deltas). Queries pin overlay->Snapshot() at dataset resolution.
+    std::unique_ptr<DeltaOverlay> overlay;
     std::unique_ptr<QueryService> service;
+    /// Drain gate: one count per outstanding DatasetLease. Replacement
+    /// waits for zero before destroying this dataset, so every lease-held
+    /// pointer stays valid without per-read locking.
+    WaitGroup in_use;
   };
 
-  /// Stable pointer lookup; takes the registry lock itself. The returned
-  /// pointer stays valid for the session's lifetime (registration is
-  /// append-only), so callers may use it after the lock is gone.
-  Dataset* FindDataset(const std::string& name) const EXCLUDES(mutex_);
-  /// Lookup core for callers already inside the registry lock.
-  Dataset* FindDatasetLocked(const std::string& name) const
-      REQUIRES(mutex_);
+  /// RAII drain lease over one registry entry. Acquired under the registry
+  /// lock (AcquireDataset); while held, the Dataset outlives any
+  /// replacement (the replacer blocks in in_use.Wait()). Destruction on
+  /// the replacer's thread is guaranteed: leases never own the Dataset,
+  /// they only defer its teardown.
+  class DatasetLease {
+   public:
+    DatasetLease() = default;
+    /// `dataset` must have had in_use.Add(1) called on the caller's behalf.
+    explicit DatasetLease(Dataset* dataset) : dataset_(dataset) {}
+    DatasetLease(DatasetLease&& other) noexcept
+        : dataset_(other.dataset_) {
+      other.dataset_ = nullptr;
+    }
+    DatasetLease& operator=(DatasetLease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        dataset_ = other.dataset_;
+        other.dataset_ = nullptr;
+      }
+      return *this;
+    }
+    DatasetLease(const DatasetLease&) = delete;
+    DatasetLease& operator=(const DatasetLease&) = delete;
+    ~DatasetLease() { Release(); }
+
+    void Release() {
+      if (dataset_ != nullptr) {
+        dataset_->in_use.Done();
+        dataset_ = nullptr;
+      }
+    }
+    Dataset* get() const { return dataset_; }
+    explicit operator bool() const { return dataset_ != nullptr; }
+
+   private:
+    Dataset* dataset_ = nullptr;
+  };
+
+  /// Resolves `name` and takes a drain lease on the entry (null lease when
+  /// unknown). The lease keeps the Dataset alive across replacement.
+  DatasetLease AcquireDataset(const std::string& name) const
+      EXCLUDES(mutex_);
+
+  /// Builds a ready-to-serve Dataset (validations + overlay + service)
+  /// from its parts. Shared by Register/Replace; compaction assembles its
+  /// own (it reuses space/library instead of validating fresh ones).
+  Result<std::unique_ptr<Dataset>> BuildDataset(
+      std::unique_ptr<KnowledgeGraph> graph,
+      std::shared_ptr<PredicateSpace> space,
+      std::shared_ptr<TransformationLibrary> library);
+
+  /// The one registry write path. Installs `dataset` under `name`; an
+  /// existing entry either rejects the install (kAlreadyExists, `replace`
+  /// false) or is swapped out atomically, retired (pending Ingests fail
+  /// fast and retry), drained, and destroyed — on this thread, after every
+  /// lease is gone. `expected` (optional) aborts the swap with
+  /// kFailedPrecondition when the current entry is no longer that pointer
+  /// (compaction's conflict check against a racing replacement).
+  Status InstallDataset(const std::string& name,
+                        std::unique_ptr<Dataset> dataset, bool replace,
+                        const Dataset* expected = nullptr)
+      EXCLUDES(mutex_);
+
+  /// The QueryServiceOptions every generation of every dataset serves
+  /// with.
+  QueryServiceOptions ServiceOptions() const;
 
   /// The priority admission actually sees: the request's own unless the
   /// session is configured to distrust it. Responses still echo what the
@@ -215,14 +351,16 @@ class KgSession {
   /// Request execution after the deadline budget has been stamped into an
   /// absolute clock time (0 = none). Query stamps at call time, Submit at
   /// submission time — both before any queueing or parsing. `dataset` is
-  /// the pre-resolved registry entry when the caller already looked it up
-  /// (pointers are stable for the session's lifetime), null to resolve
-  /// here. When `pre_admitted` is set the caller already holds an
-  /// admission slot on the dataset's service (Submit's path) and owes its
-  /// release; otherwise the service's synchronous gate applies.
-  /// Deadline/cancel outcomes are always surfaced (and counted) by the
-  /// service, never short-circuited here, so the per-dataset overload
-  /// counters stay truthful.
+  /// the pre-resolved entry when the caller already holds a lease on it
+  /// (Submit's path — the lease must outlive the call), null to resolve
+  /// (and lease) here. The snapshot pin happens HERE, at resolution: the
+  /// whole request — parsing, decomposition, search, answer fill — runs
+  /// against one GraphView of the epoch current at this moment. When
+  /// `pre_admitted` is set the caller already holds an admission slot on
+  /// the dataset's service (Submit's path) and owes its release; otherwise
+  /// the service's synchronous gate applies. Deadline/cancel outcomes are
+  /// always surfaced (and counted) by the service, never short-circuited
+  /// here, so the per-dataset overload counters stay truthful.
   Result<QueryResponse> Execute(const QueryRequest& request,
                                 int64_t deadline_micros,
                                 const CancelToken* cancel,
@@ -235,8 +373,9 @@ class KgSession {
   /// destroyed first, the pool last.
   std::unique_ptr<ThreadPool> pool_;
   /// Registry lock ("session" layer in util/mutex.h's lock ordering):
-  /// guards only the map structure — Dataset contents are immutable after
-  /// registration and each service synchronizes itself.
+  /// guards the map structure and lease acquisition — Dataset contents are
+  /// immutable after registration (the overlay and service synchronize
+  /// themselves), and entry lifetime is governed by the drain leases.
   mutable Mutex mutex_;
   std::map<std::string, std::unique_ptr<Dataset>> datasets_
       GUARDED_BY(mutex_);

@@ -73,12 +73,12 @@ PathMatch Reconstruct(const std::vector<SearchNode>& arena, int32_t index) {
 
 }  // namespace
 
-Result<std::vector<PathMatch>> AStarSearch(const KnowledgeGraph& graph,
+Result<std::vector<PathMatch>> AStarSearch(const GraphView& graph,
                                            const PredicateSpace& space,
                                            const ResolvedSubQuery& subquery,
                                            const AStarConfig& config,
                                            SearchStats* stats) {
-  if (!graph.finalized()) {
+  if (!graph.base().finalized()) {
     return Status::InvalidArgument("graph must be finalized");
   }
   if (subquery.Length() == 0) {
@@ -99,7 +99,7 @@ Result<std::vector<PathMatch>> AStarSearch(const KnowledgeGraph& graph,
       static_cast<double>(config.n_hat * num_stages);  // n̂ per query edge
   const NodeConstraint& target = subquery.node_constraints.back();
 
-  SemanticWeights weights(&graph, &space, &subquery);
+  SemanticWeights weights(graph, &space, &subquery);
   SearchStats local_stats;
   SearchStats& st = stats ? *stats : local_stats;
   st = SearchStats{};

@@ -29,6 +29,7 @@
 #include "core/semantic_weights.h"
 #include "embedding/predicate_space.h"
 #include "kg/graph.h"
+#include "kg/graph_view.h"
 #include "util/status.h"
 
 namespace kgsearch {
@@ -96,7 +97,11 @@ struct SearchStats {
 /// the result is globally optimal among paths within the hop bound
 /// (Theorem 2); in anytime mode it contains every match generated before the
 /// stop signal (best `anytime_match_cap` kept).
-Result<std::vector<PathMatch>> AStarSearch(const KnowledgeGraph& graph,
+///
+/// Takes a GraphView so the search can run against a pinned delta snapshot
+/// (live ingest); a bare finalized KnowledgeGraph converts implicitly and
+/// behaves exactly as before.
+Result<std::vector<PathMatch>> AStarSearch(const GraphView& graph,
                                            const PredicateSpace& space,
                                            const ResolvedSubQuery& subquery,
                                            const AStarConfig& config,

@@ -7,7 +7,7 @@
 
 namespace kgsearch {
 
-DecomposeOptions MakeDecomposeOptions(const KnowledgeGraph& graph,
+DecomposeOptions MakeDecomposeOptions(const GraphView& graph,
                                       PivotStrategy strategy, size_t n_hat,
                                       uint64_t seed) {
   DecomposeOptions dopts;
@@ -64,8 +64,9 @@ SgqEngine::SgqEngine(const KnowledgeGraph* graph, const PredicateSpace* space,
 
 Result<QueryResult> SgqEngine::Query(const QueryGraph& query,
                                      const EngineOptions& options) const {
+  const GraphView view = options.view ? *options.view : GraphView(*graph_);
   Result<Decomposition> decomposition = DecomposeQuery(
-      query, MakeDecomposeOptions(*graph_, options.pivot_strategy,
+      query, MakeDecomposeOptions(view, options.pivot_strategy,
                                   options.n_hat, options.seed));
   if (!decomposition.ok()) return decomposition.status();
   return QueryDecomposed(query, decomposition.ValueOrDie(), options);
@@ -90,12 +91,19 @@ Result<QueryResult> SgqEngine::QueryDecomposed(
   const size_t n = decomposition.subqueries.size();
   KG_CHECK(n > 0);
 
+  // The whole query — resolution, search, answer extraction — reads one
+  // view. With no pinned snapshot this is the base graph (epoch 0) and the
+  // per-query matcher below is behaviorally identical to the engine's own.
+  const GraphView view = options.view ? *options.view : GraphView(*graph_);
+  NodeMatcher matcher(view, matcher_.library());
+  matcher.set_candidate_cache(matcher_.candidate_cache());
+
   // Resolve every sub-query up front; resolution failures (mismatch in
   // query nodes/predicates, Figure 1) abort the query.
   std::vector<ResolvedSubQuery> resolved;
   resolved.reserve(n);
   for (const SubQueryGraph& sub : decomposition.subqueries) {
-    Result<ResolvedSubQuery> r = ResolveSubQuery(query, sub, matcher_);
+    Result<ResolvedSubQuery> r = ResolveSubQuery(query, sub, matcher);
     if (!r.ok()) return r.status();
     resolved.push_back(std::move(r).ValueOrDie());
   }
@@ -123,7 +131,7 @@ Result<QueryResult> SgqEngine::QueryDecomposed(
           config.stop_check_interval = options.stop_check_interval;
         }
         Result<std::vector<PathMatch>> r = AStarSearch(
-            *graph_, *space_, resolved[i], config, &result.subquery_stats[i]);
+            view, *space_, resolved[i], config, &result.subquery_stats[i]);
         if (r.ok()) {
           match_sets[i] = std::move(r).ValueOrDie();
         } else {

@@ -60,6 +60,13 @@ struct EngineOptions {
   /// kCancelled. A deadline/cancel that never fires leaves the search
   /// bit-identical to an unconstrained run.
   const CancelToken* cancel = nullptr;
+  /// Pinned snapshot view to run the query against (live-ingest serving:
+  /// base graph + one delta epoch). Null = the engine's own base graph.
+  /// Non-owning; the caller keeps the view (and the snapshot it pins)
+  /// alive for the duration of the call. The view's base must be the
+  /// engine's graph — the engine's predicate space and matcher library
+  /// are interpreted against it.
+  const GraphView* view = nullptr;
 };
 
 /// Everything produced by one query execution.
@@ -83,7 +90,7 @@ struct QueryResult {
 /// Both SgqEngine::Query and the serving layer's decomposition cache derive
 /// their DecomposeQuery call from this one mapping, so a cached
 /// decomposition is bit-identical to a freshly computed one.
-DecomposeOptions MakeDecomposeOptions(const KnowledgeGraph& graph,
+DecomposeOptions MakeDecomposeOptions(const GraphView& graph,
                                       PivotStrategy strategy, size_t n_hat,
                                       uint64_t seed);
 

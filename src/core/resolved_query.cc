@@ -8,7 +8,7 @@ Result<ResolvedSubQuery> ResolveSubQuery(const QueryGraph& query,
                                          const SubQueryGraph& path,
                                          const NodeMatcher& matcher) {
   KG_CHECK(path.node_seq.size() == path.edge_seq.size() + 1);
-  const KnowledgeGraph& graph = *matcher.graph();
+  const GraphView& graph = matcher.view();
   ResolvedSubQuery out;
 
   for (int ei : path.edge_seq) {

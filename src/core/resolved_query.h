@@ -8,6 +8,7 @@
 
 #include "core/query_graph.h"
 #include "kg/graph.h"
+#include "kg/graph_view.h"
 #include "match/node_matcher.h"
 #include "util/status.h"
 
@@ -19,8 +20,10 @@ struct NodeConstraint {
   std::vector<NodeId> nodes;  ///< allowed node ids (specific nodes), sorted
   std::vector<TypeId> types;  ///< allowed type ids (target nodes), sorted
 
-  /// True when KG node `u` satisfies this constraint.
-  bool Matches(const KnowledgeGraph& graph, NodeId u) const {
+  /// True when KG node `u` satisfies this constraint. Takes a GraphView so
+  /// delta-overlay nodes (and nodes of delta-added types) constrain the
+  /// same way base nodes do; a bare KnowledgeGraph converts implicitly.
+  bool Matches(const GraphView& graph, NodeId u) const {
     if (specific) {
       return std::binary_search(nodes.begin(), nodes.end(), u);
     }

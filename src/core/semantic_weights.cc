@@ -4,12 +4,12 @@
 
 namespace kgsearch {
 
-SemanticWeights::SemanticWeights(const KnowledgeGraph* graph,
+SemanticWeights::SemanticWeights(const GraphView& graph,
                                  const PredicateSpace* space,
                                  const ResolvedSubQuery* subquery)
     : graph_(graph), subquery_(subquery) {
-  KG_CHECK(graph != nullptr && space != nullptr && subquery != nullptr);
-  const size_t num_preds = graph->NumPredicates();
+  KG_CHECK(space != nullptr && subquery != nullptr);
+  const size_t num_preds = graph.NumPredicates();
   const size_t stages = subquery->Length();
   KG_CHECK(space->NumPredicates() >= num_preds);
 
@@ -38,7 +38,7 @@ double SemanticWeights::MaxAdjacentWeight(NodeId u, size_t stage) const {
   auto it = m_cache_.find(key);
   if (it != m_cache_.end()) return it->second;
   double m = kMinWeight;
-  for (const AdjEntry& e : graph_->Neighbors(u)) {
+  for (const AdjEntry& e : graph_.Neighbors(u)) {
     m = std::max(m, rowmax_[stage][e.predicate]);
     if (m >= 1.0) break;
   }

@@ -16,14 +16,17 @@
 #include "core/resolved_query.h"
 #include "embedding/predicate_space.h"
 #include "kg/graph.h"
+#include "kg/graph_view.h"
 
 namespace kgsearch {
 
 /// Per-sub-query view of the semantic graph's edge weights and heuristics.
 class SemanticWeights {
  public:
-  /// Precomputes similarity rows for the sub-query's predicates.
-  SemanticWeights(const KnowledgeGraph* graph, const PredicateSpace* space,
+  /// Precomputes similarity rows for the sub-query's predicates. The view's
+  /// predicate vocabulary must be covered by the space (the serving layer
+  /// guarantees this by rejecting ingest of unknown predicates).
+  SemanticWeights(const GraphView& graph, const PredicateSpace* space,
                   const ResolvedSubQuery* subquery);
 
   /// Weight of a KG edge with predicate `edge_pred` while matching query
@@ -42,7 +45,7 @@ class SemanticWeights {
   size_t materialized_nodes() const { return m_cache_.size(); }
 
  private:
-  const KnowledgeGraph* graph_;
+  GraphView graph_;
   const ResolvedSubQuery* subquery_;
   /// rows_[stage][pred] = clamped similarity of query predicate `stage`
   /// against vocabulary predicate `pred`.

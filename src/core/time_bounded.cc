@@ -48,8 +48,9 @@ double TbqEngine::CalibrateAssemblyCostMicros(const Clock* clock) {
 
 Result<TimeBoundedResult> TbqEngine::Query(
     const QueryGraph& query, const TimeBoundedOptions& options) const {
+  const GraphView view = options.view ? *options.view : GraphView(*graph_);
   Result<Decomposition> decomposition = DecomposeQuery(
-      query, MakeDecomposeOptions(*graph_, options.pivot_strategy,
+      query, MakeDecomposeOptions(view, options.pivot_strategy,
                                   options.n_hat, options.seed));
   if (!decomposition.ok()) return decomposition.status();
   return QueryDecomposed(query, decomposition.ValueOrDie(), options);
@@ -81,10 +82,15 @@ Result<TimeBoundedResult> TbqEngine::QueryDecomposed(
   const size_t n = result.decomposition.subqueries.size();
   KG_CHECK(n > 0);
 
+  // One consistent view for the whole query; see SgqEngine::QueryDecomposed.
+  const GraphView view = options.view ? *options.view : GraphView(*graph_);
+  NodeMatcher matcher(view, matcher_.library());
+  matcher.set_candidate_cache(matcher_.candidate_cache());
+
   std::vector<ResolvedSubQuery> resolved;
   resolved.reserve(n);
   for (const SubQueryGraph& sub : result.decomposition.subqueries) {
-    Result<ResolvedSubQuery> r = ResolveSubQuery(query, sub, matcher_);
+    Result<ResolvedSubQuery> r = ResolveSubQuery(query, sub, matcher);
     if (!r.ok()) return r.status();
     resolved.push_back(std::move(r).ValueOrDie());
   }
@@ -144,7 +150,7 @@ Result<TimeBoundedResult> TbqEngine::QueryDecomposed(
         return should_stop(i, matches_so_far);
       };
       Result<std::vector<PathMatch>> r = AStarSearch(
-          *graph_, *space_, resolved[i], config, &result.subquery_stats[i]);
+          view, *space_, resolved[i], config, &result.subquery_stats[i]);
       if (r.ok()) {
         match_sets[i] = std::move(r).ValueOrDie();
       } else {

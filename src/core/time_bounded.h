@@ -54,6 +54,8 @@ struct TimeBoundedOptions {
   /// Cooperative cancellation; non-owning, may be null. See
   /// EngineOptions::cancel.
   const CancelToken* cancel = nullptr;
+  /// Pinned snapshot view; see EngineOptions::view.
+  const GraphView* view = nullptr;
 };
 
 /// Result of a time-bounded query.

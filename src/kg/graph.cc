@@ -34,12 +34,18 @@ void KnowledgeGraph::AddEdge(NodeId head, std::string_view predicate,
   triples_.push_back(Triple{head, p, tail});
 }
 
-void KnowledgeGraph::AddTriple(std::string_view head_name,
-                               std::string_view predicate,
-                               std::string_view tail_name) {
+Status KnowledgeGraph::AddTriple(std::string_view head_name,
+                                 std::string_view predicate,
+                                 std::string_view tail_name) {
+  if (finalized_) {
+    return Status::FailedPrecondition(
+        "AddTriple after Finalize(): the base graph is immutable; mutate "
+        "through a DeltaOverlay (kg/delta_overlay.h) instead");
+  }
   NodeId h = AddNode(head_name, "Thing");
   NodeId t = AddNode(tail_name, "Thing");
   AddEdge(h, predicate, t);
+  return Status::OK();
 }
 
 void KnowledgeGraph::Finalize() {
@@ -61,15 +67,11 @@ void KnowledgeGraph::Finalize() {
     adj_[cursor[t.head]++] = AdjEntry{t.tail, t.predicate, true};
     adj_[cursor[t.tail]++] = AdjEntry{t.head, t.predicate, false};
   }
-  // Deterministic neighbor order: by neighbor id, then predicate.
+  // Deterministic neighbor order (the canonical AdjEntryLess order).
   for (size_t u = 0; u < n; ++u) {
     std::sort(adj_.begin() + static_cast<int64_t>(adj_offsets_[u]),
               adj_.begin() + static_cast<int64_t>(adj_offsets_[u + 1]),
-              [](const AdjEntry& a, const AdjEntry& b) {
-                if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
-                if (a.predicate != b.predicate) return a.predicate < b.predicate;
-                return a.forward < b.forward;
-              });
+              AdjEntryLess);
   }
 
   // Type index.
@@ -211,6 +213,13 @@ bool KnowledgeGraph::HasTriple(NodeId head, PredicateId predicate,
   if (it == edge_index_.end()) return false;
   const auto& preds = it->second;
   return std::find(preds.begin(), preds.end(), predicate) != preds.end();
+}
+
+std::span<const PredicateId> KnowledgeGraph::TriplePredicates(
+    NodeId head, NodeId tail) const {
+  auto it = edge_index_.find(PackPair(head, tail));
+  if (it == edge_index_.end()) return {};
+  return it->second;
 }
 
 }  // namespace kgsearch

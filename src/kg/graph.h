@@ -41,7 +41,20 @@ struct AdjEntry {
   PredicateId predicate;
   /// True when the stored edge is (node -> neighbor); false for reverse.
   bool forward;
+
+  bool operator==(const AdjEntry&) const = default;
 };
+
+/// The canonical adjacency-list order: by neighbor id, then predicate, then
+/// direction flag. Finalize(), FromFlatParts validation, and the delta
+/// overlay's merged lists all sort with this one comparator, so a merged
+/// overlay list is bit-identical to the list a from-scratch Finalize()
+/// would build.
+inline bool AdjEntryLess(const AdjEntry& a, const AdjEntry& b) {
+  if (a.neighbor != b.neighbor) return a.neighbor < b.neighbor;
+  if (a.predicate != b.predicate) return a.predicate < b.predicate;
+  return a.forward < b.forward;
+}
 
 /// Immutable-after-finalize knowledge graph with CSR adjacency and
 /// type/name indexes.
@@ -64,8 +77,11 @@ class KnowledgeGraph {
   void AddEdge(NodeId head, std::string_view predicate, NodeId tail);
 
   /// Convenience: adds nodes by name (type "Thing" if new) and the edge.
-  void AddTriple(std::string_view head_name, std::string_view predicate,
-                 std::string_view tail_name);
+  /// kFailedPrecondition after Finalize(): the base graph is immutable —
+  /// post-finalize mutation goes through the delta overlay
+  /// (kg/delta_overlay.h), never through this entry point.
+  Status AddTriple(std::string_view head_name, std::string_view predicate,
+                   std::string_view tail_name);
 
   /// Builds CSR adjacency and secondary indexes. Must be called exactly once,
   /// after which the graph is immutable.
@@ -132,6 +148,12 @@ class KnowledgeGraph {
   /// True when a directed edge (head, predicate, tail) exists.
   /// Requires Finalize().
   bool HasTriple(NodeId head, PredicateId predicate, NodeId tail) const;
+
+  /// Predicates of all stored directed edges (head -> tail); empty when the
+  /// pair has no edge. Used by the delta overlay to seed its per-pair
+  /// override lists. Requires Finalize().
+  std::span<const PredicateId> TriplePredicates(NodeId head,
+                                                NodeId tail) const;
 
   /// Average undirected degree. Requires Finalize().
   double AverageDegree() const {

@@ -1,56 +1,84 @@
 // The node-match relation φ (Definition 3), implemented over a knowledge
-// graph and a transformation library.
+// graph view and a transformation library.
 #ifndef KGSEARCH_MATCH_NODE_MATCHER_H_
 #define KGSEARCH_MATCH_NODE_MATCHER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "kg/graph.h"
+#include "kg/graph_view.h"
 #include "match/transformation_library.h"
 #include "util/lru_cache.h"
 #include "util/string_util.h"
 
 namespace kgsearch {
 
-/// Shared memo of φ candidate lists. The graph and library are immutable
-/// after construction, so cached lists never go stale; one cache can back
-/// every matcher over the same (graph, library) pair — the serving layer
-/// installs one instance into both the SGQ and TBQ engines.
+/// A memoized φ candidate list, stamped with the graph epoch it was computed
+/// against (kg/graph_view.h). Epoch 0 is the pristine base graph; every
+/// delta-overlay commit bumps it. A matcher serving epoch E treats an entry
+/// stamped with any other epoch as a miss and overwrites it, so live ingest
+/// can never surface a stale candidate list — while the common case (a long
+/// run of queries against one epoch) still hits.
+struct CachedCandidates {
+  uint64_t epoch = 0;
+  std::vector<NodeId> ids;
+};
+
+/// Shared memo of φ candidate lists. One cache can back every matcher over
+/// the same (base graph, library) pair across all epochs — the serving layer
+/// installs one instance into both the SGQ and TBQ engines, and per-request
+/// matchers pinned to a delta snapshot share it too.
 ///
 /// Keys are std::string (owned) but lookups are heterogeneous string_views,
 /// so the MatchByName/MatchByType hot path allocates no temporary string on
 /// a cache hit; only the Put after a miss materializes the key.
 struct MatcherCandidateCache {
   using Cache =
-      LruCache<std::string, std::vector<NodeId>, StringViewHash, StringViewEq>;
+      LruCache<std::string, CachedCandidates, StringViewHash, StringViewEq>;
 
   explicit MatcherCandidateCache(size_t capacity)
       : by_name(capacity), by_type(capacity) {}
 
   Cache by_name;
   Cache by_type;
+  /// Lookups that found an entry from a different epoch (recomputed; the
+  /// underlying LruCache counted them as hits, so true hits are
+  /// hits() - stale_hits()).
+  std::atomic<uint64_t> stale{0};
 
   uint64_t hits() const { return by_name.hits() + by_type.hits(); }
   uint64_t misses() const { return by_name.misses() + by_type.misses(); }
+  uint64_t stale_hits() const {
+    return stale.load(std::memory_order_relaxed);
+  }
 };
 
 /// Resolves query node labels to knowledge-graph node candidates.
 ///
 /// Specific nodes (name known) resolve by name; target nodes (type known)
 /// resolve by type. Both go through the transformation library's identical /
-/// synonym / abbreviation records.
+/// synonym / abbreviation records. The matcher reads through a GraphView,
+/// so one constructed over a pinned delta snapshot also matches nodes and
+/// types the overlay added.
 class NodeMatcher {
  public:
   NodeMatcher(const KnowledgeGraph* graph, const TransformationLibrary* library)
-      : graph_(graph), library_(library) {
+      : view_(*graph), library_(library) {
     KG_CHECK(graph != nullptr && library != nullptr);
+  }
+  NodeMatcher(GraphView view, const TransformationLibrary* library)
+      : view_(view), library_(library) {
+    KG_CHECK(library != nullptr);
   }
 
   /// Installs (or clears, with null) a candidate-list cache. The cache may
-  /// be shared across matchers over the same graph + library.
+  /// be shared across matchers and epochs over the same base graph +
+  /// library (entries are epoch-stamped; see MatcherCandidateCache).
   void set_candidate_cache(std::shared_ptr<MatcherCandidateCache> cache) {
     cache_ = std::move(cache);
   }
@@ -61,15 +89,22 @@ class NodeMatcher {
   /// φ for a specific node: KG nodes whose (unique) name resolves from
   /// `query_name`. Empty when nothing matches.
   std::vector<NodeId> MatchByName(std::string_view query_name) const {
-    std::vector<NodeId> out;
-    if (cache_ && cache_->by_name.Get(query_name, &out)) {
-      return out;
+    if (cache_) {
+      CachedCandidates entry;
+      if (cache_->by_name.Get(query_name, &entry)) {
+        if (entry.epoch == view_.epoch()) return std::move(entry.ids);
+        cache_->stale.fetch_add(1, std::memory_order_relaxed);
+      }
     }
+    std::vector<NodeId> out;
     for (const Resolution& r : library_->ResolveName(query_name)) {
-      NodeId u = graph_->FindNode(r.canonical);
+      NodeId u = view_.FindNode(r.canonical);
       if (u != kInvalidNode) out.push_back(u);
     }
-    if (cache_) cache_->by_name.Put(std::string(query_name), out);
+    if (cache_) {
+      cache_->by_name.Put(std::string(query_name),
+                          CachedCandidates{view_.epoch(), out});
+    }
     return out;
   }
 
@@ -77,7 +112,7 @@ class NodeMatcher {
   std::vector<TypeId> MatchTypes(std::string_view query_type) const {
     std::vector<TypeId> out;
     for (const Resolution& r : library_->ResolveType(query_type)) {
-      TypeId t = graph_->FindType(r.canonical);
+      TypeId t = view_.FindType(r.canonical);
       if (t != kInvalidSymbol) out.push_back(t);
     }
     return out;
@@ -85,23 +120,31 @@ class NodeMatcher {
 
   /// φ for a target node: all KG nodes whose type resolves from `query_type`.
   std::vector<NodeId> MatchByType(std::string_view query_type) const {
-    std::vector<NodeId> out;
-    if (cache_ && cache_->by_type.Get(query_type, &out)) {
-      return out;
+    if (cache_) {
+      CachedCandidates entry;
+      if (cache_->by_type.Get(query_type, &entry)) {
+        if (entry.epoch == view_.epoch()) return std::move(entry.ids);
+        cache_->stale.fetch_add(1, std::memory_order_relaxed);
+      }
     }
+    std::vector<NodeId> out;
     for (TypeId t : MatchTypes(query_type)) {
-      auto members = graph_->NodesOfType(t);
+      auto members = view_.NodesOfType(t);
       out.insert(out.end(), members.begin(), members.end());
     }
-    if (cache_) cache_->by_type.Put(std::string(query_type), out);
+    if (cache_) {
+      cache_->by_type.Put(std::string(query_type),
+                          CachedCandidates{view_.epoch(), out});
+    }
     return out;
   }
 
-  const KnowledgeGraph* graph() const { return graph_; }
+  const GraphView& view() const { return view_; }
+  const KnowledgeGraph* graph() const { return &view_.base(); }
   const TransformationLibrary* library() const { return library_; }
 
  private:
-  const KnowledgeGraph* graph_;
+  GraphView view_;
   const TransformationLibrary* library_;
   std::shared_ptr<MatcherCandidateCache> cache_;
 };

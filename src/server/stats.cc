@@ -5,6 +5,7 @@ namespace kgsearch {
 JsonValue EncodeServiceStats(const ServiceStatsSnapshot& stats,
                              double interval_qps) {
   JsonValue json = JsonValue::Object();
+  json.Set("generation", JsonValue::Uint(stats.generation));
   json.Set("queries_total", JsonValue::Uint(stats.queries_total));
   json.Set("queries_failed", JsonValue::Uint(stats.queries_failed));
   json.Set("sgq_queries", JsonValue::Uint(stats.sgq_queries));
@@ -20,6 +21,8 @@ JsonValue EncodeServiceStats(const ServiceStatsSnapshot& stats,
   json.Set("matcher_cache_hits", JsonValue::Uint(stats.matcher_cache_hits));
   json.Set("matcher_cache_misses",
            JsonValue::Uint(stats.matcher_cache_misses));
+  json.Set("matcher_cache_stale_hits",
+           JsonValue::Uint(stats.matcher_cache_stale_hits));
   json.Set("in_flight", JsonValue::Uint(stats.in_flight));
   json.Set("queue_depth", JsonValue::Uint(stats.queue_depth));
   json.Set("executor_queue_depth",

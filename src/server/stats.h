@@ -31,7 +31,9 @@ JsonValue EncodeServiceStats(const ServiceStatsSnapshot& stats,
 /// Remembers the previous snapshot per dataset and turns successive reads
 /// into interval rates. The first read of a dataset has no predecessor, so
 /// it reports the lifetime average (== IntervalQps against an empty
-/// snapshot). Thread-safe.
+/// snapshot); a read straddling a blue-green dataset swap (the snapshot's
+/// generation changed, so the counters reset underneath the name) does the
+/// same instead of reporting a bogus zero rate. Thread-safe.
 class StatsRateTracker {
  public:
   /// The completion rate since the previous Update for `dataset` (lifetime

@@ -7,6 +7,18 @@
 
 namespace kgsearch {
 
+namespace {
+
+/// Monotone process-wide source of ServiceStatsSnapshot::generation values;
+/// starts at 1 so a default-constructed snapshot (generation 0) never
+/// matches a real service.
+uint64_t NextServiceGeneration() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 std::string QuerySignature(const QueryGraph& query, PivotStrategy strategy,
                            size_t n_hat, uint64_t seed) {
   // Node and edge labels separated by unit separators; '\x1f' cannot occur
@@ -64,6 +76,7 @@ QueryService::QueryService(const KnowledgeGraph* graph,
                            const TransformationLibrary* library,
                            QueryServiceOptions options, const Clock* clock)
     : clock_(clock),
+      generation_(NextServiceGeneration()),
       sgq_(graph, space, library, clock),
       tbq_(graph, space, library, clock),
       decomposition_cache_(options.decomposition_cache_capacity),
@@ -91,14 +104,18 @@ QueryService::~QueryService() {
 
 Result<Decomposition> QueryService::CachedDecomposition(
     const QueryGraph& query, PivotStrategy strategy, size_t n_hat,
-    uint64_t seed) {
+    uint64_t seed, const GraphView& view) {
   // Plan cache: DecomposeQuery is pure in (query, strategy, n_hat, seed,
-  // graph), and the graph is immutable, so a hit replays the exact plan.
-  const std::string key = QuerySignature(query, strategy, n_hat, seed);
+  // graph). The graph is no longer immutable under live ingest, so the
+  // view's epoch joins the key — a hit replays the exact plan for exactly
+  // that graph state (epoch 0 = the pristine base).
+  std::string key = QuerySignature(query, strategy, n_hat, seed);
+  key += StrFormat("\x1f" "e%llu",
+                   static_cast<unsigned long long>(view.epoch()));
   Decomposition decomposition;
   if (decomposition_cache_.Get(key, &decomposition)) return decomposition;
   Result<Decomposition> computed = DecomposeQuery(
-      query, MakeDecomposeOptions(sgq_.graph(), strategy, n_hat, seed));
+      query, MakeDecomposeOptions(view, strategy, n_hat, seed));
   if (!computed.ok()) return computed.status();
   decomposition_cache_.Put(key, computed.ValueOrDie());
   return computed;
@@ -126,8 +143,10 @@ Result<QueryResult> QueryService::ExecuteSgq(const QueryGraph& query,
     ClassifyOutcome(interrupted);
     return interrupted;
   }
+  const GraphView view =
+      options.view != nullptr ? *options.view : GraphView(sgq_.graph());
   Result<Decomposition> decomposition = CachedDecomposition(
-      query, options.pivot_strategy, options.n_hat, options.seed);
+      query, options.pivot_strategy, options.n_hat, options.seed, view);
   if (!decomposition.ok()) {
     tracker.Finish(false);
     return decomposition.status();
@@ -196,8 +215,10 @@ Result<TimeBoundedResult> QueryService::ExecuteTbq(
     ClassifyOutcome(interrupted);
     return interrupted;
   }
+  const GraphView view =
+      options.view != nullptr ? *options.view : GraphView(sgq_.graph());
   Result<Decomposition> decomposition = CachedDecomposition(
-      query, options.pivot_strategy, options.n_hat, options.seed);
+      query, options.pivot_strategy, options.n_hat, options.seed, view);
   if (!decomposition.ok()) {
     tracker.Finish(false);
     return decomposition.status();
@@ -235,6 +256,7 @@ std::future<Result<TimeBoundedResult>> QueryService::SubmitTimeBounded(
 
 ServiceStatsSnapshot QueryService::Stats() const {
   ServiceStatsSnapshot s;
+  s.generation = generation_;
   s.queries_total = queries_total_.load(std::memory_order_relaxed);
   s.queries_failed = queries_failed_.load(std::memory_order_relaxed);
   s.sgq_queries = sgq_queries_.load(std::memory_order_relaxed);
@@ -248,6 +270,7 @@ ServiceStatsSnapshot QueryService::Stats() const {
   if (matcher_cache_) {
     s.matcher_cache_hits = matcher_cache_->hits();
     s.matcher_cache_misses = matcher_cache_->misses();
+    s.matcher_cache_stale_hits = matcher_cache_->stale_hits();
   }
   s.in_flight = in_flight_.load(std::memory_order_relaxed);
   s.queue_depth = queued_.load(std::memory_order_relaxed);

@@ -174,11 +174,21 @@ class QueryService {
   void ClassifyOutcome(const Status& status);
 
   /// The decomposition plan, via the LRU cache (both SGQ and TBQ traffic).
+  /// `view` is the graph the query will actually run against (a pinned
+  /// live-ingest snapshot, or the base graph); its epoch is part of the
+  /// cache key, so a plan computed against one epoch is never replayed
+  /// against another — DecomposeQuery reads the graph's average degree,
+  /// which moves under ingest.
   Result<Decomposition> CachedDecomposition(const QueryGraph& query,
                                             PivotStrategy strategy,
-                                            size_t n_hat, uint64_t seed);
+                                            size_t n_hat, uint64_t seed,
+                                            const GraphView& view);
 
   const Clock* clock_;
+  /// Process-unique instance id stamped into every stats snapshot, so rate
+  /// trackers can tell a blue-green service replacement from counter
+  /// movement (see ServiceStatsSnapshot::generation).
+  const uint64_t generation_;
   SgqEngine sgq_;
   TbqEngine tbq_;
   std::shared_ptr<MatcherCandidateCache> matcher_cache_;  ///< may be null

@@ -87,6 +87,16 @@ class LatencyHistogram {
 
 /// Point-in-time view of a QueryService's counters.
 struct ServiceStatsSnapshot {
+  /// Identity of the QueryService instance that produced this snapshot
+  /// (process-unique, assigned at service construction, never 0 for a real
+  /// snapshot). A blue-green dataset swap (api/session.h) installs a FRESH
+  /// service under the same dataset name, so two snapshots read under one
+  /// name may come from different services; their counters are then
+  /// incomparable, and IntervalQps detects that via this field instead of
+  /// reporting a bogus 0 (the old behavior: the new service's small uptime
+  /// made the window length negative).
+  uint64_t generation = 0;
+
   uint64_t queries_total = 0;   ///< completed queries (SGQ + TBQ)
   uint64_t queries_failed = 0;  ///< completed with a non-OK status
   uint64_t sgq_queries = 0;
@@ -104,6 +114,10 @@ struct ServiceStatsSnapshot {
   uint64_t decomposition_cache_misses = 0;
   uint64_t matcher_cache_hits = 0;
   uint64_t matcher_cache_misses = 0;
+  /// Matcher-cache lookups that found an entry stamped with a different
+  /// graph epoch (live ingest moved the graph on); recomputed, not served.
+  /// Also counted in matcher_cache_hits — subtract for true hits.
+  uint64_t matcher_cache_stale_hits = 0;
 
   size_t in_flight = 0;    ///< queries currently executing
   /// THIS service's async submissions not yet started. Always per-service,
@@ -147,11 +161,19 @@ struct ServiceStatsSnapshot {
 /// Completion rate between two successive snapshots of the SAME service:
 /// queries completed in the window divided by the window length. This is
 /// the "current load" figure; ServiceStatsSnapshot::qps is the lifetime
-/// average. Against a default-constructed `prev` it degenerates to the
-/// lifetime average. 0 when the window is empty or not advancing (counters
-/// are monotone, so a negative delta means mismatched snapshots).
+/// average.
+///
+/// When the two snapshots come from different service generations — the
+/// first read ever (default-constructed `prev`, generation 0), or a read
+/// straddling a blue-green dataset swap/compaction, which replaces the
+/// QueryService behind the name — the counters are incomparable and the
+/// function degenerates to the NEW service's lifetime average (its whole
+/// life fits inside the window, so that IS the window rate). Within one
+/// generation, 0 when the window is empty or not advancing (counters are
+/// monotone, so a negative delta means mismatched snapshots).
 inline double IntervalQps(const ServiceStatsSnapshot& prev,
                           const ServiceStatsSnapshot& curr) {
+  if (prev.generation != curr.generation) return curr.qps;
   const double dt = curr.uptime_seconds - prev.uptime_seconds;
   if (dt <= 0.0 || curr.queries_total < prev.queries_total) return 0.0;
   return static_cast<double>(curr.queries_total - prev.queries_total) / dt;

@@ -12,21 +12,29 @@
 // ---------------------------------------------------------------------
 // Cross-class lock ordering (acquire strictly left to right):
 //
-//     server (TcpServer::conn_mutex_, StatsRateTracker::mutex_)
+//     server  (TcpServer::conn_mutex_, StatsRateTracker::mutex_)
 //   → session (KgSession::mutex_, the dataset registry)
+//   → overlay (DeltaOverlay::mutex_: writer serialization + snapshot
+//              publication for one dataset's live-mutation delta)
 //   → service (QueryService's caches: LruCache::mutex_)
 //   → pool    (ThreadPool::mutex_, WaitGroup::mutex_)
 //
 // A thread holding a lock from a lower layer must never acquire one from
 // a higher layer: connection threads may take the registry lock while
-// serving a line, the registry lock may be held while a service's cache
-// lock is taken (registration), and anything may enqueue on the pool —
-// but pool workers and cache code never reach back up into server or
-// session locks. No two locks of the SAME layer are ever held together
-// (each service's caches are independent; WaitGroup and ThreadPool locks
-// nest only pool-internally, via Submit-side tracking that takes them
-// one at a time). This ordering makes the whole stack deadlock-free by
-// construction; document any new lock's layer here before adding it.
+// serving a line, the registry lock may be held while an overlay snapshot
+// is pinned (dataset resolution) or a service's cache lock is taken
+// (registration), and anything may enqueue on the pool — but pool
+// workers and cache code never reach back up into server or session
+// locks. The overlay lock is effectively a leaf: Commit/Snapshot/Retire
+// do pure data work and acquire nothing while holding it; compaction
+// retires the overlay (releasing its lock) BEFORE folding and before
+// taking the registry lock to swap, precisely so overlay → session never
+// occurs. No two locks of the SAME layer are ever held together (each
+// service's caches are independent; each dataset's overlay is
+// independent; WaitGroup and ThreadPool locks nest only pool-internally,
+// via Submit-side tracking that takes them one at a time). This ordering
+// makes the whole stack deadlock-free by construction; document any new
+// lock's layer here before adding it.
 // ---------------------------------------------------------------------
 #ifndef KGSEARCH_UTIL_MUTEX_H_
 #define KGSEARCH_UTIL_MUTEX_H_

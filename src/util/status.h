@@ -28,6 +28,7 @@ enum class StatusCode {
   kCancelled,          ///< caller revoked the request (CancelToken)
   kDeadlineExceeded,   ///< per-request deadline expired before completion
   kResourceExhausted,  ///< admission control rejected the request (overload)
+  kFailedPrecondition, ///< operation illegal in the object's current state
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -46,6 +47,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
   }
   return "Unknown";
 }
@@ -103,6 +105,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

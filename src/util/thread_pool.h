@@ -19,6 +19,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <utility>
@@ -108,21 +109,25 @@ std::future<ResultT> SubmitTracked(ThreadPool* pool, WaitGroup* outstanding,
   queued->fetch_add(1, std::memory_order_relaxed);
   outstanding->Add(1);
   const bool accepted = pool->TrySubmit(
-      [promise, queued, outstanding, run = std::move(run)]() mutable {
+      [promise, queued, outstanding,
+       run = std::optional<RunFn>(std::move(run))]() mutable {
         queued->fetch_sub(1, std::memory_order_relaxed);
         try {
-          promise->set_value(run());
+          promise->set_value((*run)());
         } catch (...) {
           promise->set_exception(std::current_exception());
         }
-        // Last touch of the owner's state: after Done() its destructor may
-        // proceed.
+        // Destroy the task closure BEFORE Done(): leases and other
+        // resources captured in it release from their destructors, and
+        // after Done() the owner's destructor may proceed — a release
+        // running later on this worker would touch freed state.
+        run.reset();
         outstanding->Done();
       });
   if (!accepted) {
     queued->fetch_sub(1, std::memory_order_relaxed);
-    outstanding->Done();
     if (on_reject) on_reject();
+    outstanding->Done();
     promise->set_value(std::move(rejected));
   }
   return fut;

@@ -11,7 +11,7 @@ std::unique_ptr<KnowledgeGraph> MakeGraph() {
   auto graph = std::make_unique<KnowledgeGraph>();
   graph->AddNode("Germany", "Country");
   graph->AddNode("Audi_TT", "Automobile");
-  graph->AddTriple("Audi_TT", "assembly", "Germany");
+  KG_CHECK(graph->AddTriple("Audi_TT", "assembly", "Germany").ok());
   graph->Finalize();
   return graph;
 }

@@ -31,7 +31,7 @@ class SemanticWeightsTest : public ::testing::Test {
 TEST_F(SemanticWeightsTest, WeightRowsMatchSpace) {
   ResolvedSubQuery sub =
       MakeSingleEdgeSubQuery(graph_, anchor_, "q", "Target");
-  SemanticWeights weights(&graph_, space_.get(), &sub);
+  SemanticWeights weights(graph_, space_.get(), &sub);
   EXPECT_NEAR(weights.Weight(0, graph_.FindPredicate("strong")), 0.9, 1e-6);
   EXPECT_NEAR(weights.Weight(0, graph_.FindPredicate("weak")), 0.4, 1e-6);
   EXPECT_NEAR(weights.Weight(0, graph_.FindPredicate("q")), 1.0, 1e-9);
@@ -40,7 +40,7 @@ TEST_F(SemanticWeightsTest, WeightRowsMatchSpace) {
 TEST_F(SemanticWeightsTest, MaxAdjacentWeightPicksStrongestIncident) {
   ResolvedSubQuery sub =
       MakeSingleEdgeSubQuery(graph_, anchor_, "q", "Target");
-  SemanticWeights weights(&graph_, space_.get(), &sub);
+  SemanticWeights weights(graph_, space_.get(), &sub);
   EXPECT_NEAR(weights.MaxAdjacentWeight(anchor_, 0), 0.9, 1e-6);
   EXPECT_NEAR(weights.MaxAdjacentWeight(graph_.FindNode("mid"), 0), 0.9,
               1e-6);
@@ -50,7 +50,7 @@ TEST_F(SemanticWeightsTest, MaxAdjacentWeightPicksStrongestIncident) {
 TEST_F(SemanticWeightsTest, CachesMaterializedNodes) {
   ResolvedSubQuery sub =
       MakeSingleEdgeSubQuery(graph_, anchor_, "q", "Target");
-  SemanticWeights weights(&graph_, space_.get(), &sub);
+  SemanticWeights weights(graph_, space_.get(), &sub);
   EXPECT_EQ(weights.materialized_nodes(), 0u);
   weights.MaxAdjacentWeight(anchor_, 0);
   weights.MaxAdjacentWeight(anchor_, 0);  // cache hit, no growth
@@ -77,7 +77,7 @@ TEST_F(SemanticWeightsTest, SuffixMaximaOverRemainingStages) {
   sub.node_constraints = {start_c, mid_c, target_c};
   sub.start_candidates = {anchor_};
 
-  SemanticWeights weights(&graph_, space_.get(), &sub);
+  SemanticWeights weights(graph_, space_.get(), &sub);
   // sim(strong, strong)=1; sim(weak, strong)=cos(theta_w - theta_s) which
   // is below 1. Stage-0 bound at the anchor (incident: strong) is the max
   // over stages {0,1} of sim(stage_pred, strong) = 1.

@@ -30,7 +30,7 @@ KnowledgeGraph MakeCooccurrenceGraph() {
 
 TEST(TransETest, RejectsUnfinalizedGraph) {
   KnowledgeGraph g;
-  g.AddTriple("A", "p", "B");
+  ASSERT_TRUE(g.AddTriple("A", "p", "B").ok());
   TransEConfig config;
   EXPECT_FALSE(TrainTransE(g, config).ok());
 }
@@ -43,7 +43,7 @@ TEST(TransETest, RejectsEmptyGraph) {
 
 TEST(TransETest, RejectsZeroDim) {
   KnowledgeGraph g;
-  g.AddTriple("A", "p", "B");
+  ASSERT_TRUE(g.AddTriple("A", "p", "B").ok());
   g.Finalize();
   TransEConfig config;
   config.dim = 0;
@@ -110,9 +110,9 @@ TEST(TransETest, CooccurringPredicatesEmbedCloser) {
 
 TEST(TransEBinaryTest, RoundTripIsBitExact) {
   KnowledgeGraph g;
-  g.AddTriple("a", "p", "b");
-  g.AddTriple("b", "q", "c");
-  g.AddTriple("c", "p", "a");
+  ASSERT_TRUE(g.AddTriple("a", "p", "b").ok());
+  ASSERT_TRUE(g.AddTriple("b", "q", "c").ok());
+  ASSERT_TRUE(g.AddTriple("c", "p", "a").ok());
   g.Finalize();
   TransEConfig config;
   config.dim = 12;

@@ -26,7 +26,7 @@ KnowledgeGraph MakeCooccurrenceGraph() {
 
 TEST(TransHTest, InputValidation) {
   KnowledgeGraph unfinalized;
-  unfinalized.AddTriple("A", "p", "B");
+  ASSERT_TRUE(unfinalized.AddTriple("A", "p", "B").ok());
   EXPECT_FALSE(TrainTransH(unfinalized, TransHConfig{}).ok());
 
   KnowledgeGraph empty;
@@ -34,7 +34,7 @@ TEST(TransHTest, InputValidation) {
   EXPECT_FALSE(TrainTransH(empty, TransHConfig{}).ok());
 
   KnowledgeGraph g;
-  g.AddTriple("A", "p", "B");
+  ASSERT_TRUE(g.AddTriple("A", "p", "B").ok());
   g.Finalize();
   TransHConfig config;
   config.dim = 0;

@@ -1,0 +1,166 @@
+// The tentpole correctness anchor for dynamic graphs: after thousands of
+// live inserts and retractions, a session serving base + delta overlay must
+// answer every workload bit-identically to a session serving a from-scratch
+// graph that was BUILT with those mutations already applied. SGQ and TBQ,
+// cold and warm caches, and again after compaction folds the delta away.
+//
+// The mutation stream is reproducible from a single seed
+// (testing/dynamic_stream.h): ops are derived from Rng(kStreamSeed) against
+// a scan of the base graph taken before registration, and the same stream
+// drives both an op-by-op model (used to build the scratch graph) and the
+// session Ingest path. 10k mutations run in the default suite; the 100k
+// sweep is gated behind KGSEARCH_SOAK_DYNAMIC=1 for nightly soak.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/session.h"
+#include "gen/synthetic_kg.h"
+#include "gen/workload.h"
+#include "testing/dynamic_stream.h"
+
+namespace kgsearch {
+namespace {
+
+using testing_fixture::BasePlan;
+using testing_fixture::BuildScratch;
+using testing_fixture::BuildStream;
+using testing_fixture::MutationStream;
+using testing_fixture::ScanBase;
+
+constexpr uint64_t kStreamSeed = 20260808;
+constexpr size_t kBatchSize = 512;
+
+QueryRequest MakeRequest(const QueryGraph& query, QueryMode mode) {
+  QueryRequest request;
+  request.dataset = "dyn";
+  request.mode = mode;
+  request.query_graph = query;
+  request.options.k = 20;
+  // Generous TBQ bound: nothing stops on time, so TBQ is exact and
+  // deterministic and the bit-identity requirement is meaningful.
+  request.options.time_bound_micros = 30'000'000;
+  return request;
+}
+
+void RunDifferential(size_t n_ops) {
+  // Two generations of the identical deterministic dataset: one consumed
+  // by the incremental session, one donating space/library to the scratch
+  // session.
+  auto gen_inc = GenerateDataset(DbpediaLikeSpec(0.3, 42));
+  auto gen_scr = GenerateDataset(DbpediaLikeSpec(0.3, 42));
+  ASSERT_TRUE(gen_inc.ok()) << gen_inc.status().ToString();
+  ASSERT_TRUE(gen_scr.ok()) << gen_scr.status().ToString();
+  std::unique_ptr<GeneratedDataset> ds_inc = std::move(gen_inc).ValueOrDie();
+  std::unique_ptr<GeneratedDataset> ds_scr = std::move(gen_scr).ValueOrDie();
+
+  // Workload and base scan must happen before the graphs are moved away.
+  std::vector<QueryGraph> workload;
+  for (size_t intent = 0; intent < ds_inc->intents.size() && intent < 6;
+       ++intent) {
+    auto built = MakeIntentQuery(*ds_inc, intent, 0);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    workload.push_back(std::move(built).ValueOrDie().query);
+  }
+  ASSERT_FALSE(workload.empty());
+  const BasePlan plan = ScanBase(*ds_inc->graph);
+  ASSERT_GT(plan.triples.size(), 100u);
+  const MutationStream stream = BuildStream(plan, kStreamSeed, n_ops);
+
+  KgSession incremental;
+  ASSERT_TRUE(incremental
+                  .RegisterDataset("dyn", std::move(ds_inc->graph),
+                                   std::move(ds_inc->space),
+                                   std::move(ds_inc->library))
+                  .ok());
+  // Replay the stream through the live ingest path in wire-sized batches;
+  // every batch publishes one epoch.
+  for (size_t start = 0; start < stream.ops.size(); start += kBatchSize) {
+    IngestRequest request;
+    request.dataset = "dyn";
+    for (size_t i = start;
+         i < stream.ops.size() && i < start + kBatchSize; ++i) {
+      request.ops.push_back(stream.ops[i]);
+    }
+    auto committed = incremental.Ingest(request);
+    ASSERT_TRUE(committed.ok())
+        << "batch at " << start << ": " << committed.status().ToString();
+  }
+  ASSERT_GT(incremental.DatasetEpoch("dyn").ValueOrDie(), 0u);
+
+  std::unique_ptr<KnowledgeGraph> rebuilt = BuildScratch(plan, stream);
+  ASSERT_NE(rebuilt, nullptr);
+  KgSession scratch;
+  ASSERT_TRUE(scratch
+                  .RegisterDataset("dyn", std::move(rebuilt),
+                                   std::move(ds_scr->space),
+                                   std::move(ds_scr->library))
+                  .ok());
+
+  // The live view and the from-scratch graph must agree on size before we
+  // even query — a cheap tripwire that localizes model bugs.
+  const DatasetInfo inc_info = incremental.ListDatasets().at(0);
+  const DatasetInfo scr_info = scratch.ListDatasets().at(0);
+  ASSERT_EQ(inc_info.nodes, scr_info.nodes);
+  ASSERT_EQ(inc_info.edges, scr_info.edges);
+
+  auto compare_workloads = [&](const std::string& stage) {
+    for (size_t q = 0; q < workload.size(); ++q) {
+      for (const QueryMode mode : {QueryMode::kSgq, QueryMode::kTbq}) {
+        SCOPED_TRACE(stage + ": query " + std::to_string(q) + " mode " +
+                     QueryModeName(mode));
+        const QueryRequest request = MakeRequest(workload[q], mode);
+        auto inc_cold = incremental.Query(request);
+        auto scr_cold = scratch.Query(request);
+        ASSERT_EQ(inc_cold.ok(), scr_cold.ok())
+            << (inc_cold.ok() ? scr_cold.status() : inc_cold.status())
+                   .ToString();
+        if (!inc_cold.ok()) {
+          EXPECT_EQ(inc_cold.status().code(), scr_cold.status().code());
+          continue;
+        }
+        EXPECT_FALSE(inc_cold.ValueOrDie().stopped_by_time);
+        EXPECT_EQ(inc_cold.ValueOrDie().answers,
+                  scr_cold.ValueOrDie().answers)
+            << "cold";
+        // Warm pass: decomposition/matcher caches now populated on both
+        // sides; answers must not drift from the cold pass.
+        auto inc_warm = incremental.Query(request);
+        auto scr_warm = scratch.Query(request);
+        ASSERT_TRUE(inc_warm.ok() && scr_warm.ok());
+        EXPECT_EQ(inc_warm.ValueOrDie().answers,
+                  inc_cold.ValueOrDie().answers)
+            << "incremental warm drifted";
+        EXPECT_EQ(inc_warm.ValueOrDie().answers,
+                  scr_warm.ValueOrDie().answers)
+            << "warm";
+      }
+    }
+  };
+  compare_workloads("overlay");
+
+  // Compaction folds the delta into a fresh base and swaps it in; the
+  // folded generation must preserve every answer bit-for-bit too.
+  ASSERT_TRUE(incremental.CompactDataset("dyn").ok());
+  EXPECT_EQ(incremental.DatasetEpoch("dyn").ValueOrDie(), 0u);
+  compare_workloads("compacted");
+}
+
+TEST(DynamicDifferentialTest, TenThousandMutationsAnswerBitIdentically) {
+  RunDifferential(10'000);
+}
+
+TEST(DynamicDifferentialTest, HundredThousandMutationSoak) {
+  if (std::getenv("KGSEARCH_SOAK_DYNAMIC") == nullptr) {
+    GTEST_SKIP() << "set KGSEARCH_SOAK_DYNAMIC=1 to run the 100k-mutation "
+                    "differential";
+  }
+  RunDifferential(100'000);
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -96,12 +96,27 @@ TEST(GraphTest, HasTripleIsDirected) {
 
 TEST(GraphTest, AddTripleConvenience) {
   KnowledgeGraph g;
-  g.AddTriple("A", "knows", "B");
-  g.AddTriple("B", "knows", "C");
+  ASSERT_TRUE(g.AddTriple("A", "knows", "B").ok());
+  ASSERT_TRUE(g.AddTriple("B", "knows", "C").ok());
   g.Finalize();
   EXPECT_EQ(g.NumNodes(), 3u);
   EXPECT_EQ(g.NumEdges(), 2u);
   EXPECT_EQ(g.NodeTypeName(g.FindNode("A")), "Thing");
+}
+
+TEST(GraphTest, AddTripleAfterFinalizeIsRejected) {
+  // Regression: this used to silently corrupt the CSR indexes (the edge
+  // landed in triples_ but never in adjacency). Post-finalize mutation must
+  // go through the delta overlay; the base graph refuses it cleanly.
+  KnowledgeGraph g;
+  ASSERT_TRUE(g.AddTriple("A", "knows", "B").ok());
+  g.Finalize();
+  const Status late = g.AddTriple("B", "knows", "C");
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  // Nothing leaked into the finalized structures.
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.FindNode("C"), kInvalidNode);
 }
 
 TEST(GraphTest, AverageDegree) {

@@ -1,0 +1,139 @@
+// Wire-level ingest: {"v":1,"ingest":{...}} lines ride the NDJSON framing,
+// route by their top-level "ingest" key, commit through the session's delta
+// overlay, and answer with the published epoch. Read-your-writes holds per
+// connection, errors come back as clean {"error":...} documents, and a
+// query document that merely CONTAINS the bytes "ingest" as a string value
+// still routes to the query path (key-with-colon routing in
+// server/tcp_server.cc).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/protocol.h"
+#include "server/client.h"
+#include "server/tcp_server.h"
+#include "testing/car_fixture.h"
+#include "util/json.h"
+
+namespace kgsearch {
+namespace {
+
+using testing_fixture::CarRequest;
+using testing_fixture::RegisterCars;
+
+NdjsonClient MustConnect(const TcpServer& server) {
+  Result<NdjsonClient> client =
+      NdjsonClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).ValueOrDie();
+}
+
+std::string ErrorCode(const std::string& document) {
+  Result<JsonValue> parsed = JsonValue::Parse(document);
+  if (!parsed.ok()) return "<unparseable: " + document + ">";
+  const JsonValue* error = parsed.ValueOrDie().Find("error");
+  if (error == nullptr) return "";
+  const JsonValue* code = error->Find("code");
+  return code == nullptr ? "<no code>" : code->string_value();
+}
+
+IngestRequest AddGolf() {
+  IngestRequest request;
+  request.dataset = "cars";
+  IngestOpDto op;
+  op.head = "VW_Golf";
+  op.predicate = "assembly";
+  op.tail = "Germany";
+  op.head_type = "Automobile";
+  request.ops.push_back(std::move(op));
+  return request;
+}
+
+TEST(ServerIngestTest, IngestThenQueryReadsItsOwnWrite) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+
+  Result<std::string> ack =
+      client.Call(EncodeIngestRequestJson(AddGolf()));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  Result<IngestResponse> response =
+      DecodeIngestResponseJson(ack.ValueOrDie());
+  ASSERT_TRUE(response.ok()) << ack.ValueOrDie();
+  EXPECT_EQ(response.ValueOrDie().dataset, "cars");
+  EXPECT_EQ(response.ValueOrDie().epoch, 1u);
+  EXPECT_EQ(response.ValueOrDie().ops_applied, 1u);
+
+  // Per-connection ordering: the very next query sees the committed batch.
+  Result<std::string> answer = client.Call(
+      EncodeQueryRequestJson(CarRequest("?Car product GER")));
+  ASSERT_TRUE(answer.ok());
+  Result<QueryResponse> decoded =
+      DecodeQueryResponseJson(answer.ValueOrDie());
+  ASSERT_TRUE(decoded.ok()) << answer.ValueOrDie();
+  bool found = false;
+  for (const AnswerDto& a : decoded.ValueOrDie().answers) {
+    if (a.name == "VW_Golf") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServerIngestTest, IngestErrorsAnswerCleanDocuments) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+
+  IngestRequest unknown = AddGolf();
+  unknown.dataset = "nope";
+  Result<std::string> not_found =
+      client.Call(EncodeIngestRequestJson(unknown));
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_EQ(ErrorCode(not_found.ValueOrDie()), "NotFound");
+
+  // Structurally broken ingest documents (ops not an array, nested
+  // "ingest" in the wrong place) decode to clean errors, never aborts.
+  Result<std::string> malformed = client.Call(
+      R"({"v":1,"ingest":{"dataset":"cars","ops":"not-an-array"}})");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(ErrorCode(malformed.ValueOrDie()), "InvalidArgument");
+
+  // A line that is not even JSON but contains the routing keyword still
+  // fails cleanly on the ingest path.
+  Result<std::string> garbage = client.Call(R"({"ingest": }")");
+  ASSERT_TRUE(garbage.ok());
+  EXPECT_EQ(ErrorCode(garbage.ValueOrDie()), "ParseError");
+
+  // The connection survived both errors.
+  Result<std::string> alive = client.Call(
+      EncodeQueryRequestJson(CarRequest("?Car product GER")));
+  ASSERT_TRUE(alive.ok());
+  EXPECT_EQ(ErrorCode(alive.ValueOrDie()), "");
+}
+
+TEST(ServerIngestTest, QueryMentioningIngestInAStringStaysAQuery) {
+  KgSession session;
+  ASSERT_TRUE(RegisterCars(&session).ok());
+  TcpServer server(&session);
+  ASSERT_TRUE(server.Start().ok());
+  NdjsonClient client = MustConnect(server);
+
+  // The dataset name contains the routing keyword as a *string value*; the
+  // raw bytes "\"ingest\"" therefore appear in the line. It must still be
+  // treated as a query (and answer NotFound for the unknown dataset), not
+  // be misrouted to the ingest decoder.
+  QueryRequest request = CarRequest("?Car product GER");
+  request.dataset = "ingest";
+  Result<std::string> answer =
+      client.Call(EncodeQueryRequestJson(request));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(ErrorCode(answer.ValueOrDie()), "NotFound");
+  EXPECT_NE(answer.ValueOrDie().find("unknown dataset"), std::string::npos)
+      << answer.ValueOrDie();
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -1,0 +1,160 @@
+// Ingest-under-query stress (ctest label: stress; runs under the CI TSan
+// job): 8 query threads hammer a dataset while a writer commits delta
+// batches and periodically compacts — the blue-green swap under live
+// clients. The contract under test:
+//
+//   - zero failed queries: readers pin a snapshot at resolution time, so
+//     neither a mid-batch commit nor a compaction swap can fail or tear a
+//     query (retired overlays only reject WRITES; reads keep serving);
+//   - epoch monotonicity per overlay generation, observed concurrently;
+//   - after the dust settles, the surviving state answers bit-identically
+//     to a from-scratch rebuild of the same seed-reproducible stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/session.h"
+#include "gen/synthetic_kg.h"
+#include "gen/workload.h"
+#include "testing/dynamic_stream.h"
+
+namespace kgsearch {
+namespace {
+
+using testing_fixture::BasePlan;
+using testing_fixture::BuildScratch;
+using testing_fixture::BuildStream;
+using testing_fixture::MutationStream;
+using testing_fixture::ScanBase;
+
+constexpr uint64_t kStreamSeed = 97;
+constexpr int kQueryThreads = 8;
+constexpr size_t kTotalOps = 4'000;
+constexpr size_t kBatchSize = 64;
+constexpr size_t kCompactEveryBatches = 16;
+
+TEST(IngestUnderQueryStressTest, LiveMutationsNeverFailAQuery) {
+  auto gen_live = GenerateDataset(DbpediaLikeSpec(0.2, 11));
+  auto gen_ref = GenerateDataset(DbpediaLikeSpec(0.2, 11));
+  ASSERT_TRUE(gen_live.ok()) << gen_live.status().ToString();
+  ASSERT_TRUE(gen_ref.ok()) << gen_ref.status().ToString();
+  std::unique_ptr<GeneratedDataset> ds = std::move(gen_live).ValueOrDie();
+  std::unique_ptr<GeneratedDataset> ref = std::move(gen_ref).ValueOrDie();
+
+  std::vector<QueryGraph> workload;
+  for (size_t intent = 0; intent < ds->intents.size() && intent < 4;
+       ++intent) {
+    auto built = MakeIntentQuery(*ds, intent, 0);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    workload.push_back(std::move(built).ValueOrDie().query);
+  }
+  ASSERT_FALSE(workload.empty());
+  const BasePlan plan = ScanBase(*ds->graph);
+  const MutationStream stream = BuildStream(plan, kStreamSeed, kTotalOps);
+
+  KgSession session;
+  ASSERT_TRUE(session
+                  .RegisterDataset("dyn", std::move(ds->graph),
+                                   std::move(ds->space),
+                                   std::move(ds->library))
+                  .ok());
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> compactions{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kQueryThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&session, &workload, &writer_done, &executed,
+                          &failed, t] {
+      QueryRequest request;
+      request.dataset = "dyn";
+      request.options.k = 10;
+      for (uint64_t i = 0; !writer_done.load(std::memory_order_relaxed) ||
+                           i < 4;  // a few post-quiesce passes per thread
+           ++i) {
+        request.query_graph =
+            workload[(static_cast<size_t>(t) + i) % workload.size()];
+        const auto result = session.Query(request);
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (!result.ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          ADD_FAILURE() << "query failed under live ingest: "
+                        << result.status().ToString();
+        }
+      }
+    });
+  }
+
+  // Writer: replay the whole stream in small batches, compacting every
+  // kCompactEveryBatches commits so readers live through several
+  // blue-green swaps, not just delta growth.
+  std::thread writer([&session, &stream, &writer_done, &compactions] {
+    size_t batch_index = 0;
+    for (size_t start = 0; start < stream.ops.size();
+         start += kBatchSize, ++batch_index) {
+      IngestRequest request;
+      request.dataset = "dyn";
+      for (size_t i = start;
+           i < stream.ops.size() && i < start + kBatchSize; ++i) {
+        request.ops.push_back(stream.ops[i]);
+      }
+      const auto committed = session.Ingest(request);
+      if (!committed.ok()) {
+        ADD_FAILURE() << "ingest batch at " << start << ": "
+                      << committed.status().ToString();
+        break;
+      }
+      if ((batch_index + 1) % kCompactEveryBatches == 0) {
+        const Status compacted = session.CompactDataset("dyn");
+        if (!compacted.ok()) {
+          ADD_FAILURE() << "compaction: " << compacted.ToString();
+          break;
+        }
+        compactions.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_GT(executed.load(), 0u);
+  EXPECT_GT(compactions.load(), 0u);
+
+  // Quiesced differential: the state the readers raced against must equal
+  // a from-scratch rebuild of the same stream, query by query.
+  std::unique_ptr<KnowledgeGraph> rebuilt = BuildScratch(plan, stream);
+  ASSERT_NE(rebuilt, nullptr);
+  KgSession reference;
+  ASSERT_TRUE(reference
+                  .RegisterDataset("dyn", std::move(rebuilt),
+                                   std::move(ref->space),
+                                   std::move(ref->library))
+                  .ok());
+  for (size_t q = 0; q < workload.size(); ++q) {
+    SCOPED_TRACE("final differential, query " + std::to_string(q));
+    QueryRequest request;
+    request.dataset = "dyn";
+    request.options.k = 10;
+    request.query_graph = workload[q];
+    auto live = session.Query(request);
+    auto scratch = reference.Query(request);
+    ASSERT_EQ(live.ok(), scratch.ok());
+    if (!live.ok()) continue;
+    EXPECT_EQ(live.ValueOrDie().answers, scratch.ValueOrDie().answers);
+  }
+}
+
+}  // namespace
+}  // namespace kgsearch

@@ -96,6 +96,31 @@ TEST(IntervalQpsTest, FirstSnapshotDegeneratesToLifetimeAverage) {
   EXPECT_DOUBLE_EQ(IntervalQps(ServiceStatsSnapshot{}, curr), curr.qps);
 }
 
+TEST(IntervalQpsTest, GenerationChangeFallsBackToLifetimeAverage) {
+  // Regression for the dataset-swap bug: after a blue-green replacement the
+  // fresh service restarts uptime and counters at ~0, so the naive diff saw
+  // dt < 0 (or counters "going backwards") and reported 0 qps forever —
+  // operators watched a busy server flatline after every swap. A
+  // generation change must instead degenerate to the new service's
+  // lifetime average, exactly like a first read.
+  ServiceStatsSnapshot old_gen;
+  old_gen.generation = 7;
+  old_gen.queries_total = 100'000;
+  old_gen.uptime_seconds = 3'600.0;
+  ServiceStatsSnapshot new_gen;
+  new_gen.generation = 8;
+  new_gen.queries_total = 50;  // fewer than prev: counters restarted
+  new_gen.uptime_seconds = 2.0;  // earlier than prev: dt would be negative
+  new_gen.qps = 25.0;
+  EXPECT_DOUBLE_EQ(IntervalQps(old_gen, new_gen), 25.0);
+
+  // Same generation still diffs normally.
+  ServiceStatsSnapshot later = new_gen;
+  later.queries_total = 150;
+  later.uptime_seconds = 4.0;
+  EXPECT_DOUBLE_EQ(IntervalQps(new_gen, later), 50.0);
+}
+
 TEST(IntervalQpsTest, DegenerateWindowsReportZero) {
   ServiceStatsSnapshot a;
   a.queries_total = 10;

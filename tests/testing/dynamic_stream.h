@@ -1,0 +1,169 @@
+// Seed-reproducible mutation streams for dynamic-graph tests: a scan of a
+// finalized base graph, a deterministic op stream derived from it, an
+// op-by-op model of the stream's net effect (mirroring DeltaOverlay
+// semantics), and a from-scratch rebuild of the post-stream graph with the
+// SAME id assignment as the live view — the independent referee the
+// incremental path is compared against. Shared by the integration
+// differential and the ingest-under-query stress suite.
+#ifndef KGSEARCH_TESTS_TESTING_DYNAMIC_STREAM_H_
+#define KGSEARCH_TESTS_TESTING_DYNAMIC_STREAM_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/protocol.h"
+#include "kg/graph.h"
+#include "util/rng.h"
+
+namespace kgsearch {
+namespace testing_fixture {
+
+/// Everything the stream generator needs from the base graph, captured
+/// before the graph is moved into a session.
+struct BasePlan {
+  std::vector<std::string> node_names;       // by NodeId
+  std::vector<std::string> node_type_names;  // by NodeId
+  std::vector<std::string> predicate_names;  // by PredicateId
+  std::vector<Triple> triples;               // base insertion order
+};
+
+inline BasePlan ScanBase(const KnowledgeGraph& g) {
+  BasePlan plan;
+  plan.node_names.reserve(g.NumNodes());
+  plan.node_type_names.reserve(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    plan.node_names.emplace_back(g.NodeName(u));
+    plan.node_type_names.emplace_back(g.NodeTypeName(u));
+  }
+  for (PredicateId p = 0; p < g.NumPredicates(); ++p) {
+    plan.predicate_names.emplace_back(g.PredicateName(p));
+  }
+  plan.triples = g.triples();
+  return plan;
+}
+
+/// The seed-reproducible stream plus the op-by-op model of its net effect:
+/// which base triples survive, which new triples exist (in first-add
+/// order), and which new nodes exist (in first-mention order).
+struct MutationStream {
+  std::vector<IngestOpDto> ops;
+  std::vector<bool> base_retracted;                    // by triples index
+  std::vector<std::array<std::string, 3>> delta_adds;  // (h, p, t) names
+  std::vector<std::pair<std::string, std::string>> new_nodes;  // name, type
+};
+
+/// `new_node_prefix` must not collide with any existing node name (soak
+/// drivers that mutate-compact-rescan in cycles pass a fresh prefix per
+/// cycle, so the model's new-node count stays exact).
+inline MutationStream BuildStream(const BasePlan& plan, uint64_t seed,
+                                  size_t n_ops,
+                                  const std::string& new_node_prefix =
+                                      "dyn_node_") {
+  Rng rng(seed);
+  MutationStream stream;
+  stream.base_retracted.assign(plan.triples.size(), false);
+  // Lookup tables for the model.
+  std::map<std::array<std::string, 3>, size_t> base_by_names;
+  for (size_t i = 0; i < plan.triples.size(); ++i) {
+    const Triple& t = plan.triples[i];
+    base_by_names[{plan.node_names[t.head],
+                   plan.predicate_names[t.predicate],
+                   plan.node_names[t.tail]}] = i;
+  }
+  std::set<std::array<std::string, 3>> delta_set;
+  std::set<std::string> new_node_set;
+
+  auto note_new_node = [&](const std::string& name,
+                           const std::string& type) {
+    if (new_node_set.insert(name).second) {
+      stream.new_nodes.emplace_back(name, type);
+    }
+  };
+  // Applies one logical add to the model, mirroring DeltaOverlay: a
+  // surviving base triple is a no-op, a retracted one un-retracts back
+  // into base order, anything else lands in the delta in first-add order.
+  auto model_add = [&](const std::array<std::string, 3>& key) {
+    auto base = base_by_names.find(key);
+    if (base != base_by_names.end()) {
+      stream.base_retracted[base->second] = false;
+      return;
+    }
+    if (delta_set.insert(key).second) stream.delta_adds.push_back(key);
+  };
+
+  size_t next_new = 0;
+  for (size_t i = 0; i < n_ops; ++i) {
+    IngestOpDto op;
+    // ~25% retractions; rejection-sample a surviving base triple so the
+    // stream never emits a kNotFound retract (which would fail its batch).
+    bool retracted = false;
+    if (rng.Bernoulli(0.25)) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const size_t idx = rng.UniformIndex(plan.triples.size());
+        if (stream.base_retracted[idx]) continue;
+        const Triple& t = plan.triples[idx];
+        op.retract = true;
+        op.head = plan.node_names[t.head];
+        op.predicate = plan.predicate_names[t.predicate];
+        op.tail = plan.node_names[t.tail];
+        stream.base_retracted[idx] = true;
+        retracted = true;
+        break;
+      }
+    }
+    if (!retracted) {
+      op.predicate = plan.predicate_names[rng.UniformIndex(
+          plan.predicate_names.size())];
+      op.tail = plan.node_names[rng.UniformIndex(plan.node_names.size())];
+      if (rng.Bernoulli(0.75)) {
+        // Fresh node wired into the existing graph.
+        op.head = new_node_prefix + std::to_string(next_new++);
+        op.head_type =
+            plan.node_type_names[rng.UniformIndex(plan.node_names.size())];
+        note_new_node(op.head, op.head_type);
+      } else {
+        // Edge between existing nodes; may duplicate a base triple or a
+        // prior add (idempotent), or un-retract an earlier retraction.
+        op.head = plan.node_names[rng.UniformIndex(plan.node_names.size())];
+      }
+      model_add({op.head, op.predicate, op.tail});
+    }
+    stream.ops.push_back(std::move(op));
+  }
+  return stream;
+}
+
+/// Rebuilds the post-stream graph from scratch: same type / predicate /
+/// node id assignment as the live view (base order, then first-mention
+/// order), surviving base triples in base order, then delta adds in
+/// first-add order — the recipe FoldDelta is proven byte-identical to.
+/// Returns null if a delta add is rejected (caller reports).
+inline std::unique_ptr<KnowledgeGraph> BuildScratch(
+    const BasePlan& plan, const MutationStream& stream) {
+  auto g = std::make_unique<KnowledgeGraph>();
+  for (const std::string& p : plan.predicate_names) g->InternPredicate(p);
+  for (size_t u = 0; u < plan.node_names.size(); ++u) {
+    g->AddNode(plan.node_names[u], plan.node_type_names[u]);
+  }
+  for (const auto& [name, type] : stream.new_nodes) g->AddNode(name, type);
+  for (size_t i = 0; i < plan.triples.size(); ++i) {
+    if (stream.base_retracted[i]) continue;
+    const Triple& t = plan.triples[i];
+    g->AddEdge(t.head, plan.predicate_names[t.predicate], t.tail);
+  }
+  for (const auto& [h, p, t] : stream.delta_adds) {
+    if (!g->AddTriple(h, p, t).ok()) return nullptr;
+  }
+  g->Finalize();
+  return g;
+}
+
+}  // namespace testing_fixture
+}  // namespace kgsearch
+
+#endif  // KGSEARCH_TESTS_TESTING_DYNAMIC_STREAM_H_

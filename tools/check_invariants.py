@@ -38,6 +38,18 @@ under gcc, where the Clang thread-safety attributes are no-ops):
                          KGSEARCH_DISABLE_SIMD build stay authoritative for
                          every consumer.
 
+  R6  delta-confinement  Mutable DeltaSnapshot handles — non-const
+                         references/pointers, non-const smart-pointer
+                         elements, new/make_shared construction — may
+                         appear only in src/kg/delta_overlay.{h,cc}.
+                         Every other layer mutates through
+                         DeltaOverlay::Commit and reads via
+                         shared_ptr<const DeltaSnapshot>; that is what
+                         makes epoch publication atomic. A snapshot that
+                         escaped as mutable could be edited after readers
+                         pinned it, silently breaking the never-see-a-
+                         half-applied-batch guarantee.
+
 Scope: src/ (and bench/ + examples/ for R1/R2's void-cast rule — they ship
 binaries, so their RNG and error handling follow the same bar). tests/ are
 exempt from R3 (test doubles may build ad-hoc synchronization) but not from
@@ -112,6 +124,15 @@ SIMD_PATTERNS = [
 SIMD_ALLOWED = {
     Path("src/embedding/simd_kernels.h"),
     Path("src/embedding/simd_kernels.cc"),
+}
+
+# R6: delta mutation confined to the overlay module ---------------------------
+DELTA_TYPE_RE = re.compile(r"\bDeltaSnapshot\b")
+DELTA_CONST_BEFORE_RE = re.compile(r"\bconst\s*$")
+DELTA_NEW_BEFORE_RE = re.compile(r"\bnew\s*$")
+DELTA_ALLOWED = {
+    Path("src/kg/delta_overlay.h"),
+    Path("src/kg/delta_overlay.cc"),
 }
 
 LINE_COMMENT_RE = re.compile(r"//.*$")
@@ -213,6 +234,23 @@ def check(root: Path) -> list[str]:
                                "bypasses the dispatched kernels and their "
                                "scalar-differential proof; add a kernel "
                                "there instead")
+            # R6 delta-mutation confinement
+            if rel not in DELTA_ALLOWED:
+                for match in DELTA_TYPE_RE.finditer(line):
+                    before = line[:match.start()]
+                    after = line[match.end():].lstrip()
+                    mutable_handle = (
+                        after[:1] in ("&", "*") or
+                        before.rstrip().endswith("<") or
+                        DELTA_NEW_BEFORE_RE.search(before))
+                    if mutable_handle and not DELTA_CONST_BEFORE_RE.search(
+                            before):
+                        report(path, lineno, "delta-confinement",
+                               "mutable DeltaSnapshot handle outside "
+                               "kg/delta_overlay.* could edit a published "
+                               "snapshot after readers pinned it; mutate "
+                               "through DeltaOverlay::Commit and read via "
+                               "shared_ptr<const DeltaSnapshot>")
             # R4 escape hatch scope
             if ESCAPE_RE.search(line):
                 try:

@@ -206,6 +206,41 @@ class CheckInvariantsTest(unittest.TestCase):
                    "int x();\n")
         self.assertEqual(self.violations(), [])
 
+    # ---- R6 delta-confinement ----------------------------------------------
+
+    def test_catches_mutable_snapshot_ref_outside_overlay_module(self):
+        self.write("src/api/session.cc",
+                   "void Patch(DeltaSnapshot& s) { s.epoch++; }\n")
+        self.assertEqual(self.rules().count("delta-confinement"), 1)
+
+    def test_catches_snapshot_construction_outside_overlay_module(self):
+        self.write("src/service/hot_swap.cc",
+                   "auto s = std::make_shared<DeltaSnapshot>();\n"
+                   "auto* raw = new DeltaSnapshot();\n"
+                   "std::shared_ptr<DeltaSnapshot> leak;\n")
+        self.assertEqual(self.rules().count("delta-confinement"), 3)
+
+    def test_allows_const_snapshot_handles_everywhere(self):
+        self.write("src/api/session.cc",
+                   "std::shared_ptr<const DeltaSnapshot> pinned;\n"
+                   "void Read(const DeltaSnapshot& s);\n"
+                   "void Fold(const DeltaSnapshot* delta);\n"
+                   "struct DeltaSnapshot;\n")
+        self.assertEqual(self.violations(), [])
+
+    def test_allows_mutation_inside_overlay_module(self):
+        self.write("src/kg/delta_overlay.cc",
+                   "Status Apply(DeltaSnapshot& s);\n"
+                   "auto next = std::make_shared<DeltaSnapshot>();\n")
+        self.assertEqual(self.violations(), [])
+
+    def test_ignores_snapshot_mutation_in_comments(self):
+        self.write("src/kg/graph_view.h",
+                   "// Only Commit holds a DeltaSnapshot& while applying.\n"
+                   "/* never make_shared<DeltaSnapshot> elsewhere */\n"
+                   "struct DeltaSnapshot { int epoch; };\n")
+        self.assertEqual(self.violations(), [])
+
     # ---- reporting ---------------------------------------------------------
 
     def test_reports_path_line_and_rule(self):
